@@ -1,0 +1,118 @@
+// Experiment E11: google-benchmark microbenchmarks of the substrate — the
+// LOCAL engine's round throughput, Linial color reduction, Cole-Vishkin,
+// rake-and-compress, and line-graph construction. These quantify the cost
+// of *simulating* a round, not the LOCAL round complexity itself.
+#include <benchmark/benchmark.h>
+
+#include "src/algos/cole_vishkin.h"
+#include "src/algos/linial.h"
+#include "src/core/decomposition.h"
+#include "src/core/rake_compress.h"
+#include "src/graph/generators.h"
+#include "src/graph/linegraph.h"
+#include "src/local/network.h"
+#include "src/support/rng.h"
+
+namespace treelocal {
+namespace {
+
+class BroadcastK : public local::Algorithm {
+ public:
+  explicit BroadcastK(int rounds) : rounds_(rounds) {}
+  void OnRound(local::NodeContext& ctx) override {
+    if (ctx.round() >= rounds_) {
+      ctx.Halt();
+      return;
+    }
+    ctx.Broadcast(local::Message::Of(ctx.round()));
+  }
+
+ private:
+  int rounds_;
+};
+
+void BM_EngineBroadcastRounds(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Graph g = UniformRandomTree(n, 1);
+  auto ids = DefaultIds(n, 2);
+  for (auto _ : state) {
+    local::Network net(g, ids);
+    BroadcastK alg(10);
+    benchmark::DoNotOptimize(net.Run(alg, 20));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{10} * n);
+}
+BENCHMARK(BM_EngineBroadcastRounds)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_Linial(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Graph g = BoundedDegreeRandomTree(n, 8, 3);
+  auto ids = DefaultIds(n, 4);
+  int64_t space = int64_t{n} * n * n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunLinial(g, ids, space));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Linial)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_ColeVishkin(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Graph g = Path(n);
+  auto ids = DefaultIds(n, 5);
+  std::vector<int> parent(n, -1);
+  for (int v = 1; v < n; ++v) parent[v] = v - 1;
+  int64_t space = int64_t{n} * n * n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ColeVishkin3Color(g, ids, parent, space));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ColeVishkin)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_RakeCompress(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Graph g = UniformRandomTree(n, 6);
+  auto ids = DefaultIds(n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunRakeCompress(g, ids, 4));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RakeCompress)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_Decomposition(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Graph g = ForestUnion(n, 3, 8);
+  auto ids = DefaultIds(n, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunDecomposition(g, ids, 3, 6, 15));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Decomposition)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_BuildLineGraph(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Graph g = BoundedDegreeRandomTree(n, 6, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildLineGraph(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_BuildLineGraph)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_UniformRandomTree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UniformRandomTree(n, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UniformRandomTree)->Arg(1 << 10)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace treelocal
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Experiment E10 (ablation): the transformation's only tunable is k.
+// Sweep k around g(n) and verify the total round count is minimized near
+// the paper's choice k = g(n): smaller k inflates the decomposition and
+// gather terms (log_k n), larger k inflates the base term (f(k)).
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/baseline.h"
+#include "src/core/complexity.h"
+#include "src/core/decomposition.h"
+#include "src/core/transform_edge.h"
+#include "src/core/transform_node.h"
+#include "src/graph/generators.h"
+#include "src/problems/matching.h"
+#include "src/problems/mis.h"
+#include "src/support/rng.h"
+#include "src/support/table.h"
+
+namespace treelocal {
+namespace {
+
+void RunThm12Ablation() {
+  const int n = 1 << 16;
+  Graph tree = UniformRandomTree(n, 11);
+  auto ids = DefaultIds(n, 12);
+  MisProblem mis;
+  int k_star = ChooseK(n, QuadraticF());
+  Table table({"k", "k/g(n)", "rounds", "decomp", "base", "gather", "valid"});
+  for (int k : {2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128}) {
+    auto result =
+        SolveNodeProblemOnTree(mis, tree, ids, bench::IdSpace(n), k);
+    table.AddRow({Table::Num(k),
+                  Table::Num(double(k) / k_star, 2),
+                  Table::Num(result.rounds_total),
+                  Table::Num(result.rounds_decomposition),
+                  Table::Num(result.rounds_base),
+                  Table::Num(result.rounds_gather),
+                  result.valid ? "yes" : "NO"});
+  }
+  std::cout << "\n(g(n) for f=Delta^2 at n=" << n << " gives k=" << k_star
+            << ")\n";
+  table.Print("E10a: k-ablation, Theorem 12 pipeline (MIS, uniform tree)");
+  table.WriteCsv("bench_k_ablation_thm12");
+}
+
+void RunThm15Ablation() {
+  const int n = 1 << 16;
+  Graph tree = UniformRandomTree(n, 13);
+  auto ids = DefaultIds(n, 14);
+  MatchingProblem mm;
+  int k_star = std::max(5, ChooseK(n, QuadraticF()));
+  Table table({"k", "k/g(n)", "rounds", "decomp", "base", "split", "gather",
+               "valid"});
+  for (int k : {5, 6, 8, 12, 16, 24, 32, 64, 128}) {
+    auto result = SolveEdgeProblemBoundedArboricity(mm, tree, ids,
+                                                    bench::IdSpace(n), 1, k);
+    table.AddRow({Table::Num(k), Table::Num(double(k) / k_star, 2),
+                  Table::Num(result.rounds_total),
+                  Table::Num(result.rounds_decomposition),
+                  Table::Num(result.rounds_base),
+                  Table::Num(result.rounds_split),
+                  Table::Num(result.rounds_gather),
+                  result.valid ? "yes" : "NO"});
+  }
+  std::cout << "\n(g(n) for f=Delta^2 at n=" << n << " gives k=" << k_star
+            << ")\n";
+  table.Print(
+      "E10b: k-ablation, Theorem 15 pipeline (matching, uniform tree)");
+  table.WriteCsv("bench_k_ablation_thm15");
+}
+
+void RunBAblation() {
+  // The paper analyzes Algorithm 3 with b = 2a (Lemma 13's proof needs
+  // b/a - 1 >= 1). Sweep b: smaller b (= a+1) still terminates but slower;
+  // larger b admits more atypical edges per node (more forests to split).
+  const int n = 1 << 13;
+  const int a = 3;
+  Graph g = StarUnion(n, a, 15);
+  auto ids = DefaultIds(g.NumNodes(), 16);
+  Table table({"b", "b/a", "layers", "bound(b=2a)", "atypicalEdges",
+               "maxAtypPerNode", "rounds"});
+  for (int b : {a + 1, 2 * a - 1, 2 * a, 3 * a, 4 * a, 8 * a}) {
+    auto result = RunDecomposition(g, ids, a, b, 5 * a);
+    int64_t atypical = 0;
+    std::vector<int> per_node(g.NumNodes(), 0);
+    for (int e = 0; e < g.NumEdges(); ++e) {
+      if (result.atypical[e]) {
+        ++atypical;
+        ++per_node[result.LowerEndpoint(g, e, ids)];
+      }
+    }
+    int max_per_node = 0;
+    for (int c : per_node) max_per_node = std::max(max_per_node, c);
+    table.AddRow({Table::Num(b), Table::Num(double(b) / a, 2),
+                  Table::Num(result.num_layers),
+                  Table::Num(DecompositionIterationBound(n, a, 5 * a)),
+                  Table::Num(atypical), Table::Num(max_per_node),
+                  Table::Num(result.engine_rounds)});
+  }
+  table.Print(
+      "E10c: b-ablation, Algorithm 3 on a union of 3 stars (paper: b = 2a)");
+  table.WriteCsv("bench_b_ablation");
+}
+
+}  // namespace
+}  // namespace treelocal
+
+int main() {
+  treelocal::RunThm12Ablation();
+  treelocal::RunThm15Ablation();
+  treelocal::RunBAblation();
+  return 0;
+}

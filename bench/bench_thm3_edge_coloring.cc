@@ -1,0 +1,116 @@
+// Experiment E8 (Theorem 3): (edge-degree+1)-edge coloring on trees.
+//
+// Three series are reported:
+//   (1) measured  — the full pipeline run end-to-end with our implemented
+//       f(Delta) = O~(Delta^2) base algorithm and k = g(n) for that f
+//       (every phase measured on the engine);
+//   (2) modeled   — the paper's configuration: k = g(n) for
+//       f(Delta) = log^12(Delta) [BBKO22b]; decomposition/split/gather are
+//       *measured* with that k, only the base phase round count is modeled
+//       as f(k) + log* n (DESIGN.md substitution #1);
+//   (3) analytic  — the paper's O(log^{12/13} n) curve and the
+//       Omega(log n / log log n) MIS/MM barrier it separates from, extended
+//       in log-space far beyond feasible n to exhibit the crossover.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/complexity.h"
+#include "src/core/transform_edge.h"
+#include "src/graph/generators.h"
+#include "src/problems/edge_coloring.h"
+#include "src/support/mathutil.h"
+#include "src/support/rng.h"
+#include "src/support/table.h"
+
+namespace treelocal {
+namespace {
+
+void RunMeasured() {
+  Table table({"n", "k", "rounds", "decomp", "base", "split", "gather",
+               "log2n", "valid"});
+  for (int n : bench::PowersOfTwo(10, 18)) {
+    Graph tree = UniformRandomTree(n, 3);
+    auto ids = DefaultIds(n, 4);
+    EdgeColoringProblem problem(EdgeColoringProblem::Mode::kEdgeDegreePlusOne,
+                                tree.MaxDegree());
+    int k = std::max(5, ChooseK(n, QuadraticF()));
+    auto result = SolveEdgeProblemBoundedArboricity(problem, tree, ids,
+                                                    bench::IdSpace(n), 1, k);
+    table.AddRow({Table::Num(n), Table::Num(k), Table::Num(result.rounds_total),
+                  Table::Num(result.rounds_decomposition),
+                  Table::Num(result.rounds_base),
+                  Table::Num(result.rounds_split),
+                  Table::Num(result.rounds_gather),
+                  Table::Num(std::log2(double(n)), 1),
+                  result.valid ? "yes" : "NO"});
+  }
+  table.Print(
+      "E8a: (edge-degree+1)-edge coloring on trees, measured pipeline "
+      "(implemented f(Delta)=O~(Delta^2) base)");
+  table.WriteCsv("bench_thm3_measured");
+}
+
+void RunModeled() {
+  // Paper configuration: f(Delta) = log^12(Delta), k = g(n) with
+  // g^{f(g)} = n, so the base phase costs f(g(n)) = log^{12/13}(n) rounds
+  // asymptotically — that value is charged as the model. The decomposition,
+  // split and gather phases are *measured* by running the real pipeline
+  // (with k clamped to Theorem 15's k >= 5a requirement, which at feasible
+  // n exceeds the tiny g(n) — the asymptotic regime needs n = 2^(2^13+)).
+  auto f = PolylogF(12.0);
+  Table table({"n", "g(n)", "k(run)", "decomp+split+gather(meas)",
+               "base=f(g) (model)", "total(model)", "barrier", "valid"});
+  for (int n : bench::PowersOfTwo(10, 18)) {
+    Graph tree = UniformRandomTree(n, 5);
+    auto ids = DefaultIds(n, 6);
+    EdgeColoringProblem problem(EdgeColoringProblem::Mode::kEdgeDegreePlusOne,
+                                tree.MaxDegree());
+    double g = SolveG(double(n), f);
+    int k = std::max(5, static_cast<int>(g));
+    auto result = SolveEdgeProblemBoundedArboricity(problem, tree, ids,
+                                                    bench::IdSpace(n), 1, k);
+    double measured_overhead = result.rounds_decomposition +
+                               result.rounds_split + result.rounds_gather;
+    double base_model = f(g) + LogStar(double(n));
+    table.AddRow({Table::Num(n), Table::Num(g, 2), Table::Num(k),
+                  Table::Num(measured_overhead, 0),
+                  Table::Num(base_model, 1),
+                  Table::Num(measured_overhead + base_model, 1),
+                  Table::Num(BarrierLogOverLogLog(double(n)), 1),
+                  result.valid ? "yes" : "NO"});
+  }
+  table.Print(
+      "E8b: Theorem 3 configuration (f = log^12 Delta [BBKO22b]; base "
+      "phase modeled at f(g(n)) = log^{12/13} n, other phases measured)");
+  table.WriteCsv("bench_thm3_modeled");
+}
+
+void RunAnalytic() {
+  // The separation is asymptotic: in log-space, with L = log2 n, the paper
+  // curve is L^{12/13} and the barrier is L / log2 L; the ratio
+  // log2(L)/L^{1/13} -> 0. Report the curves across 30 orders of magnitude.
+  Table table({"log2(n)", "paper L^(12/13)", "barrier L/log2L",
+               "ratio paper/barrier", "paperWins"});
+  for (double big_l : {16., 64., 256., 1024., 4096., 65536., 1e6, 1e9, 1e12,
+                       1e18, 1e24, 1e30}) {
+    double paper = std::pow(big_l, 12.0 / 13.0);
+    double barrier = big_l / std::log2(big_l);
+    table.AddRow({Table::Num(big_l, 0), Table::Num(paper, 1),
+                  Table::Num(barrier, 1), Table::Num(paper / barrier, 3),
+                  paper < barrier ? "yes" : "no"});
+  }
+  table.Print(
+      "E8c: analytic separation, log-space (crossover at L = (log2 L)^13)");
+  table.WriteCsv("bench_thm3_analytic");
+}
+
+}  // namespace
+}  // namespace treelocal
+
+int main() {
+  treelocal::RunMeasured();
+  treelocal::RunModeled();
+  treelocal::RunAnalytic();
+  return 0;
+}

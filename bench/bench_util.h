@@ -1,0 +1,25 @@
+#ifndef TREELOCAL_BENCH_BENCH_UTIL_H_
+#define TREELOCAL_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace treelocal::bench {
+
+inline int64_t IdSpace(int n) {
+  int64_t nn = std::max(n, 2);
+  return nn * nn * nn;
+}
+
+// Geometric size series 2^lo .. 2^hi.
+inline std::vector<int> PowersOfTwo(int lo, int hi) {
+  std::vector<int> out;
+  for (int e = lo; e <= hi; ++e) out.push_back(1 << e);
+  return out;
+}
+
+}  // namespace treelocal::bench
+
+#endif  // TREELOCAL_BENCH_BENCH_UTIL_H_

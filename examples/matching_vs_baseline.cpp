@@ -1,0 +1,58 @@
+// The headline comparison of the paper, runnable: maximal matching on a
+// high-degree tree. The direct truly-local algorithm pays O(f(Delta)); the
+// Theorem 15 transformation pays O(f(g(n)) + log* n) — independent of the
+// input's Delta. On a star the gap is ~n vs ~constant rounds.
+//
+//   ./examples/matching_vs_baseline [n]
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/baseline.h"
+#include "src/core/complexity.h"
+#include "src/core/transform_edge.h"
+#include "src/graph/generators.h"
+#include "src/problems/matching.h"
+#include "src/support/rng.h"
+
+namespace {
+
+void RunOne(const treelocal::Graph& tree, const std::string& name) {
+  using namespace treelocal;
+  const int n = tree.NumNodes();
+  auto ids = DefaultIds(n, 7);
+  int64_t id_space = int64_t{n} * n * n;
+  MatchingProblem mm;
+
+  int k = std::max(5, ChooseK(n, QuadraticF()));
+  auto transformed =
+      SolveEdgeProblemBoundedArboricity(mm, tree, ids, id_space, /*a=*/1, k);
+  auto baseline = RunEdgeBaseline(mm, tree, ids, id_space);
+
+  std::cout << name << " (n = " << n << ", Delta = " << tree.MaxDegree()
+            << ")\n"
+            << "  transformed (Thm 15): " << transformed.rounds_total
+            << " rounds, valid = " << (transformed.valid ? "yes" : "NO")
+            << "\n"
+            << "  direct base algorithm: " << baseline.rounds_total
+            << " rounds, valid = " << (baseline.valid ? "yes" : "NO") << "\n"
+            << "  speedup: "
+            << static_cast<double>(baseline.rounds_total) /
+                   std::max(1, transformed.rounds_total)
+            << "x\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace treelocal;
+  int n = argc > 1 ? std::atoi(argv[1]) : 1 << 12;
+  RunOne(Star(n), "star");
+  RunOne(Caterpillar(std::max(1, n / 33), 32), "caterpillar with 32 legs");
+  RunOne(RandomRecursiveTree(n, 5), "random recursive tree");
+  RunOne(UniformRandomTree(n, 6), "uniform random tree");
+  std::cout << "The transformation's advantage grows with Delta; on "
+               "low-degree trees the direct algorithm is already cheap and "
+               "the pipeline's constant overhead shows (the paper's claim "
+               "is asymptotic in n over worst-case trees).\n";
+  return 0;
+}

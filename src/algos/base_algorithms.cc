@@ -1,0 +1,66 @@
+#include "src/algos/base_algorithms.h"
+
+#include "src/algos/linial.h"
+#include "src/algos/sweep.h"
+#include "src/graph/linegraph.h"
+#include "src/graph/subgraph.h"
+
+namespace treelocal {
+
+BaseRunStats RunNodeBase(const NodeProblem& problem, const SemiGraph& semi,
+                         const std::vector<int64_t>& host_ids,
+                         int64_t id_space, HalfEdgeLabeling& h) {
+  BaseRunStats stats;
+  Subgraph under = semi.Underlying();
+  const Graph& u = under.graph;
+  stats.underlying_max_degree = u.MaxDegree();
+  if (u.NumNodes() == 0) return stats;
+
+  std::vector<int64_t> sub_ids = RestrictToSubgraph(under, host_ids);
+  LinialResult linial = RunLinial(u, sub_ids, id_space);
+  stats.linial_rounds = linial.rounds;
+
+  // Sweep the classes on the host graph so that the greedy sees (and labels)
+  // the rank-1 half-edges of the semi-graph too.
+  std::vector<int64_t> colors(u.NumNodes());
+  for (int i = 0; i < u.NumNodes(); ++i) colors[i] = linial.colors[i];
+  stats.num_classes =
+      SweepNodeClasses(problem, semi.host(), under.node_to_host, colors,
+                       linial.num_colors, h);
+  stats.rounds = stats.linial_rounds + static_cast<int>(stats.num_classes);
+  return stats;
+}
+
+BaseRunStats RunEdgeBase(const EdgeProblem& problem, const SemiGraph& semi,
+                         const std::vector<int64_t>& host_ids,
+                         int64_t id_space, HalfEdgeLabeling& h) {
+  // The host ID space is unused here: line-graph IDs are derived densely
+  // from the host IDs' order (see LineGraphIds); kept for API symmetry.
+  (void)id_space;
+  BaseRunStats stats;
+  Subgraph under = InduceByEdges(semi.host(), semi.edge_mask());
+  const Graph& u = under.graph;
+  stats.underlying_max_degree = u.MaxDegree();
+  if (u.NumEdges() == 0) return stats;
+
+  std::vector<int64_t> sub_ids = RestrictToSubgraph(under, host_ids);
+  LineGraph lg = BuildLineGraph(u);
+  std::vector<int64_t> line_ids = LineGraphIds(u, sub_ids);
+  int64_t line_space = static_cast<int64_t>(u.NumEdges()) + 1;
+  LinialResult linial = RunLinial(lg.graph, line_ids, line_space);
+  // One line-graph round costs 2 host rounds (exchange over shared
+  // endpoints), hence the factor 2 on the symmetry-breaking part.
+  stats.linial_rounds = 2 * linial.rounds;
+
+  std::vector<int> host_edges;
+  host_edges.reserve(u.NumEdges());
+  for (int e = 0; e < u.NumEdges(); ++e) {
+    host_edges.push_back(under.edge_to_host[e]);
+  }
+  stats.num_classes = SweepEdgeClasses(problem, semi.host(), host_edges,
+                                       linial.colors, linial.num_colors, h);
+  stats.rounds = stats.linial_rounds + static_cast<int>(stats.num_classes);
+  return stats;
+}
+
+}  // namespace treelocal

@@ -1,0 +1,47 @@
+#ifndef TREELOCAL_ALGOS_BASE_ALGORITHMS_H_
+#define TREELOCAL_ALGOS_BASE_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/labeling.h"
+#include "src/graph/semigraph.h"
+#include "src/problems/problem.h"
+
+namespace treelocal {
+
+// The truly local base algorithms "A" required by Theorems 12 and 15: they
+// solve Pi on a semi-graph S in O(f(Delta_S) + log* n) rounds, where
+// Delta_S is the maximum degree of S's underlying graph.
+//
+// Construction: Linial color reduction on the underlying graph (node
+// problems) or its line graph (edge problems) in O(log* n) rounds to
+// m = O(Delta^2 log^2 Delta) colors, then an m-round color-class sweep of
+// the problem's 1-hop greedy. Hence f(Delta) = Theta(Delta^2 log^2 Delta)
+// here; the paper's Theorem 3 instead plugs in the polylog(Delta) algorithm
+// of [BBKO22b], which we model separately (see core/complexity.h and
+// DESIGN.md substitution #1).
+struct BaseRunStats {
+  int rounds = 0;         // total engine rounds charged to the base phase
+  int linial_rounds = 0;  // symmetry-breaking part (the log* n term)
+  int64_t num_classes = 0;  // sweep part (the f(Delta) term)
+  int underlying_max_degree = 0;
+};
+
+// Solves a NodeProblem on semi-graph `semi`, labeling every present
+// half-edge. `host_ids` are the LOCAL IDs on the host graph; `id_space` is
+// their exclusive upper bound.
+BaseRunStats RunNodeBase(const NodeProblem& problem, const SemiGraph& semi,
+                         const std::vector<int64_t>& host_ids,
+                         int64_t id_space, HalfEdgeLabeling& h);
+
+// Solves an EdgeProblem on semi-graph `semi` (edge-induced; all ranks 2),
+// labeling both half-edges of every contained edge. Runs on the line graph;
+// reported rounds include the factor-2 line-graph simulation overhead.
+BaseRunStats RunEdgeBase(const EdgeProblem& problem, const SemiGraph& semi,
+                         const std::vector<int64_t>& host_ids,
+                         int64_t id_space, HalfEdgeLabeling& h);
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_ALGOS_BASE_ALGORITHMS_H_

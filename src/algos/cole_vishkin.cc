@@ -1,0 +1,141 @@
+#include "src/algos/cole_vishkin.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace treelocal {
+
+namespace {
+
+int BitLength(int64_t x) {
+  int bits = 0;
+  do {
+    ++bits;
+    x >>= 1;
+  } while (x > 0);
+  return bits;
+}
+
+// One Cole-Vishkin step: new color = 2*i + bit_i(mine), where i is the
+// lowest bit index at which `mine` and `parent` differ.
+int64_t CvStep(int64_t mine, int64_t parent) {
+  int64_t diff = mine ^ parent;
+  assert(diff != 0);
+  int i = 0;
+  while (!((diff >> i) & 1)) ++i;
+  return 2 * static_cast<int64_t>(i) + ((mine >> i) & 1);
+}
+
+class CvAlgorithm : public local::Algorithm {
+ public:
+  CvAlgorithm(const Graph& g, const std::vector<int64_t>& ids,
+              const std::vector<int>& parent, int iterations)
+      : g_(g), parent_(parent), iterations_(iterations) {
+    color_.resize(g.NumNodes());
+    parent_port_.resize(g.NumNodes());
+    for (int v = 0; v < g.NumNodes(); ++v) {
+      color_[v] = ids[v];
+      parent_port_[v] = parent[v] < 0 ? -1 : g.PortOf(v, parent[v]);
+      if (parent[v] >= 0 && parent_port_[v] < 0) {
+        throw std::invalid_argument("parent is not a neighbor");
+      }
+    }
+  }
+
+  void OnRound(local::NodeContext& ctx) override {
+    const int v = ctx.node();
+    const int r = ctx.round();
+    // Round plan: r in [1, K] = CV steps; then 3 blocks of (shift-down,
+    // recolor) for target colors 5, 4, 3; every round rebroadcasts.
+    if (r >= 1 && r <= iterations_) {
+      int64_t parent_color = ParentColor(ctx);
+      color_[v] = CvStep(color_[v], parent_color);
+    } else if (r > iterations_) {
+      int phase = r - iterations_ - 1;  // 0..5
+      int block = phase / 2;
+      if (phase % 2 == 0) {
+        // Shift-down: adopt the parent's color; roots rotate within {0,1,2}.
+        if (parent_port_[v] >= 0) {
+          color_[v] = ctx.Recv(parent_port_[v]).word0;
+        } else {
+          color_[v] = (color_[v] + 1) % 3;
+        }
+      } else {
+        // Recolor the target class into {0,1,2}. After shift-down all
+        // children of v share one color, so at most two values are blocked.
+        int64_t target = 5 - block;
+        if (color_[v] == target) {
+          bool blocked[3] = {false, false, false};
+          for (int p = 0; p < ctx.degree(); ++p) {
+            int64_t c = ctx.Recv(p).word0;
+            if (c >= 0 && c < 3) blocked[c] = true;
+          }
+          for (int64_t c = 0; c < 3; ++c) {
+            if (!blocked[c]) {
+              color_[v] = c;
+              break;
+            }
+          }
+        }
+        if (block == 2) {
+          ctx.Halt();
+          return;
+        }
+      }
+    }
+    ctx.Broadcast(local::Message::Of(color_[v]));
+  }
+
+  std::vector<int> FinalColors() const {
+    std::vector<int> out(color_.size());
+    for (size_t v = 0; v < color_.size(); ++v) {
+      out[v] = static_cast<int>(color_[v]);
+    }
+    return out;
+  }
+
+ private:
+  int64_t ParentColor(local::NodeContext& ctx) const {
+    const int v = ctx.node();
+    if (parent_port_[v] >= 0) return ctx.Recv(parent_port_[v]).word0;
+    // Virtual parent for roots: own color with lowest bit flipped.
+    return color_[v] ^ 1;
+  }
+
+  const Graph& g_;
+  std::vector<int> parent_;
+  std::vector<int> parent_port_;
+  std::vector<int64_t> color_;
+  int iterations_;
+};
+
+}  // namespace
+
+int ColeVishkinIterations(int64_t id_space) {
+  // Colors live in [0, M); one step maps them into [0, 2*BitLength(M-1)).
+  // Iterate until M <= 6 (the fixpoint of M -> 2*BitLength(M-1)).
+  int64_t m = id_space;
+  int iterations = 0;
+  while (m > 6) {
+    m = 2 * BitLength(m - 1);
+    ++iterations;
+    assert(iterations < 64);
+  }
+  return iterations;
+}
+
+ColeVishkinResult ColeVishkin3Color(const Graph& forest,
+                                    const std::vector<int64_t>& ids,
+                                    const std::vector<int>& parent,
+                                    int64_t id_space) {
+  ColeVishkinResult result;
+  if (forest.NumNodes() == 0) return result;
+  int iterations = ColeVishkinIterations(id_space);
+  CvAlgorithm alg(forest, ids, parent, iterations);
+  local::Network net(forest, ids);
+  result.rounds = net.Run(alg, iterations + 64);
+  result.colors = alg.FinalColors();
+  return result;
+}
+
+}  // namespace treelocal

@@ -1,0 +1,87 @@
+#include "src/algos/distributed_sweep.h"
+
+#include <cassert>
+
+namespace treelocal {
+
+namespace {
+
+// The per-node view of the labeling is materialized in a shared
+// HalfEdgeLabeling, but entries on the *neighbor side* of an edge are
+// written only when the neighbor's message is delivered — the engine
+// enforces the information flow, so a decision can never read data that
+// has not crossed an edge.
+class NodeSweepAlgorithm : public local::Algorithm {
+ public:
+  NodeSweepAlgorithm(const NodeProblem& problem, const Graph& g,
+                     const std::vector<int64_t>& colors, int64_t num_colors,
+                     HalfEdgeLabeling& view)
+      : problem_(problem),
+        g_(g),
+        colors_(colors),
+        num_colors_(num_colors),
+        view_(view) {}
+
+  void OnRound(local::NodeContext& ctx) override {
+    const int v = ctx.node();
+    const int64_t t = ctx.round();
+    // Deliver neighbor labels sent last round into the local view.
+    for (int p = 0; p < ctx.degree(); ++p) {
+      const local::Message& msg = ctx.Recv(p);
+      if (!msg.present()) continue;
+      int e = g_.IncidentEdges(v)[p];
+      int u = g_.Neighbors(v)[p];
+      view_.Set(e, u, msg.word0);
+    }
+    if (colors_[v] == t) {
+      // My class's round: decide from what I have received, then tell each
+      // neighbor the label I chose on our shared edge.
+      problem_.SequentialAssign(g_, v, view_);
+      for (int p = 0; p < ctx.degree(); ++p) {
+        int e = g_.IncidentEdges(v)[p];
+        ctx.Send(p, local::Message::Of(view_.Get(e, v)));
+      }
+    }
+    if (t >= num_colors_ - 1 && colors_[v] < t) {
+      ctx.Halt();
+      return;
+    }
+    if (t >= num_colors_ - 1 && colors_[v] == t) {
+      // Decided in the final round; one more round lets the messages drain,
+      // but nobody is left to read them — halt immediately.
+      ctx.Halt();
+    }
+  }
+
+ private:
+  const NodeProblem& problem_;
+  const Graph& g_;
+  const std::vector<int64_t>& colors_;
+  const int64_t num_colors_;
+  HalfEdgeLabeling& view_;
+};
+
+}  // namespace
+
+DistributedSweepResult RunDistributedNodeSweep(
+    const NodeProblem& problem, const Graph& g,
+    const std::vector<int64_t>& ids, const std::vector<int64_t>& colors,
+    int64_t num_colors) {
+  DistributedSweepResult result;
+  result.labeling = HalfEdgeLabeling(g);
+  if (g.NumNodes() == 0) return result;
+  for (int64_t c : colors) {
+    assert(c >= 0 && c < num_colors);
+    (void)c;
+  }
+  // A decided node's labels live in `view` on its own half-edges; neighbor
+  // halves are filled in from messages. Reads of *unsent* neighbor data are
+  // impossible by construction.
+  NodeSweepAlgorithm alg(problem, g, colors, num_colors, result.labeling);
+  local::Network net(g, ids);
+  result.rounds = net.Run(alg, static_cast<int>(num_colors) + 2);
+  result.messages = net.messages_delivered();
+  return result;
+}
+
+}  // namespace treelocal

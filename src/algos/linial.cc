@@ -1,0 +1,145 @@
+#include "src/algos/linial.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "src/support/mathutil.h"
+
+namespace treelocal {
+
+namespace {
+
+// base^exp >= target, overflow-safe.
+bool PowerAtLeast(int64_t base, int exp, int64_t target) {
+  int64_t p = 1;
+  for (int i = 0; i < exp; ++i) {
+    if (p > target / base) return true;  // p * base > target
+    p *= base;
+  }
+  return p >= target;
+}
+
+// Smallest (d, q) such that q is prime, q > Delta*d, and q^{d+1} >= m;
+// among those, the first d (smallest q^2 in practice for our ranges).
+LinialStep ChooseStep(int64_t m, int max_degree) {
+  for (int d = 1;; ++d) {
+    int64_t q = NextPrimeAtLeast(static_cast<int64_t>(max_degree) * d + 2);
+    if (PowerAtLeast(q, d + 1, m)) return LinialStep{q, d};
+    assert(d < 64);
+  }
+}
+
+// Evaluate the polynomial whose coefficients are the base-q digits of c,
+// at point x, over F_q.
+int64_t EvalPoly(int64_t c, int64_t q, int d, int64_t x) {
+  // Horner over the digits, highest first.
+  int64_t digits[70];
+  int count = 0;
+  int64_t rem = c;
+  for (int i = 0; i <= d; ++i) {
+    digits[count++] = rem % q;
+    rem /= q;
+  }
+  int64_t acc = 0;
+  for (int i = count - 1; i >= 0; --i) {
+    acc = (acc * x + digits[i]) % q;
+  }
+  return acc;
+}
+
+class LinialAlgorithm : public local::Algorithm {
+ public:
+  LinialAlgorithm(const Graph& g, const std::vector<int64_t>& ids,
+                  const LinialSchedule& schedule)
+      : schedule_(schedule) {
+    color_.resize(g.NumNodes());
+    for (int v = 0; v < g.NumNodes(); ++v) color_[v] = ids[v];
+  }
+
+  void OnRound(local::NodeContext& ctx) override {
+    const int v = ctx.node();
+    const int r = ctx.round();
+    if (r >= 1) {
+      const LinialStep& step = schedule_.steps[r - 1];
+      // Collect neighbor colors (their broadcast from last round).
+      int64_t q = step.q;
+      // Blocked evaluation points: x where some neighbor's polynomial
+      // agrees with ours.
+      int64_t chosen_x = -1;
+      for (int64_t x = 0; x < q && chosen_x < 0; ++x) {
+        int64_t mine = EvalPoly(color_[v], q, step.d, x);
+        bool ok = true;
+        for (int p = 0; p < ctx.degree(); ++p) {
+          const local::Message& msg = ctx.Recv(p);
+          if (!msg.present()) continue;
+          if (EvalPoly(msg.word0, q, step.d, x) == mine) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) chosen_x = x;
+      }
+      if (chosen_x < 0) {
+        // Impossible when q > Delta*d: at most Delta*d points are blocked.
+        throw std::logic_error("Linial step found no free point");
+      }
+      color_[v] = chosen_x * q + EvalPoly(color_[v], q, step.d, chosen_x);
+    }
+    if (r == static_cast<int>(schedule_.steps.size())) {
+      ctx.Halt();
+      return;
+    }
+    ctx.Broadcast(local::Message::Of(color_[v]));
+  }
+
+  const std::vector<int64_t>& colors() const { return color_; }
+
+ private:
+  const LinialSchedule& schedule_;
+  std::vector<int64_t> color_;
+};
+
+}  // namespace
+
+LinialSchedule BuildLinialSchedule(int64_t id_space, int max_degree) {
+  LinialSchedule schedule;
+  int64_t m = id_space;
+  if (max_degree == 0) {
+    schedule.final_colors = 1;
+    return schedule;
+  }
+  while (true) {
+    LinialStep step = ChooseStep(m, max_degree);
+    int64_t next = step.q * step.q;
+    if (next >= m) break;  // no further progress possible
+    schedule.steps.push_back(step);
+    m = next;
+    assert(schedule.steps.size() < 80);
+  }
+  schedule.final_colors = m;
+  return schedule;
+}
+
+LinialResult RunLinial(const Graph& g, const std::vector<int64_t>& ids,
+                       int64_t id_space) {
+  LinialResult result;
+  if (g.NumNodes() == 0) return result;
+  if (g.MaxDegree() == 0) {
+    result.colors.assign(g.NumNodes(), 0);
+    result.num_colors = 1;
+    result.rounds = 1;
+    return result;
+  }
+  // IDs may take the value id_space itself (inclusive spaces upstream);
+  // schedule from id_space + 1 so every initial color is strictly below m.
+  LinialSchedule schedule = BuildLinialSchedule(id_space + 1, g.MaxDegree());
+  LinialAlgorithm alg(g, ids, schedule);
+  local::Network net(g, ids);
+  result.rounds =
+      net.Run(alg, static_cast<int>(schedule.steps.size()) + 2);
+  result.colors = alg.colors();
+  result.num_colors = schedule.final_colors;
+  return result;
+}
+
+}  // namespace treelocal

@@ -1,0 +1,47 @@
+#ifndef TREELOCAL_ALGOS_LINIAL_H_
+#define TREELOCAL_ALGOS_LINIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/local/network.h"
+
+namespace treelocal {
+
+// Linial's deterministic color reduction [Lin92] via polynomial set systems:
+// starting from distinct IDs in [0, id_space), each step maps an m-coloring
+// to a q^2-coloring where q is a prime with q > Delta*d and q^{d+1} >= m
+// (each color becomes the point set {(x, P_c(x))}; a node picks a point not
+// shared with any neighbor, which exists since two degree-<=d polynomials
+// agree on at most d points). O(log* n) steps to O(Delta^2 log^2 Delta)
+// colors; this is the O(f(Delta) + log* n) engine behind every base
+// algorithm "A" in this repository.
+struct LinialStep {
+  int64_t q = 0;  // prime
+  int d = 0;      // polynomial degree bound
+};
+
+struct LinialSchedule {
+  std::vector<LinialStep> steps;
+  int64_t final_colors = 0;  // m after the last step
+};
+
+// Deterministic schedule from (id_space, max_degree); identical at every
+// node, which is what makes simultaneous termination legal in LOCAL.
+LinialSchedule BuildLinialSchedule(int64_t id_space, int max_degree);
+
+struct LinialResult {
+  std::vector<int64_t> colors;  // proper coloring, values in [0, num_colors)
+  int64_t num_colors = 0;
+  int rounds = 0;
+};
+
+// Runs Linial color reduction on `g` with the given distinct IDs
+// (0 <= id < id_space required... IDs here are 1-based; internally shifted).
+LinialResult RunLinial(const Graph& g, const std::vector<int64_t>& ids,
+                       int64_t id_space);
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_ALGOS_LINIAL_H_

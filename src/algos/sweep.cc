@@ -1,0 +1,54 @@
+#include "src/algos/sweep.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace treelocal {
+
+namespace {
+
+// Stable order of items by color.
+std::vector<int> OrderByColor(const std::vector<int>& items,
+                              const std::vector<int64_t>& colors,
+                              int64_t num_colors) {
+  assert(items.size() == colors.size());
+  std::vector<int> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return colors[a] < colors[b];
+  });
+  for (int64_t c : colors) {
+    assert(c >= 0 && c < num_colors);
+    (void)c;
+  }
+  (void)num_colors;
+  std::vector<int> sorted_items;
+  sorted_items.reserve(items.size());
+  for (int idx : order) sorted_items.push_back(items[idx]);
+  return sorted_items;
+}
+
+}  // namespace
+
+int64_t SweepNodeClasses(const NodeProblem& problem, const Graph& host,
+                         const std::vector<int>& host_nodes,
+                         const std::vector<int64_t>& colors,
+                         int64_t num_colors, HalfEdgeLabeling& h) {
+  for (int v : OrderByColor(host_nodes, colors, num_colors)) {
+    problem.SequentialAssign(host, v, h);
+  }
+  return num_colors;
+}
+
+int64_t SweepEdgeClasses(const EdgeProblem& problem, const Graph& host,
+                         const std::vector<int>& host_edges,
+                         const std::vector<int64_t>& colors,
+                         int64_t num_colors, HalfEdgeLabeling& h) {
+  for (int e : OrderByColor(host_edges, colors, num_colors)) {
+    problem.SequentialAssignEdge(host, e, h);
+  }
+  return num_colors;
+}
+
+}  // namespace treelocal

@@ -1,0 +1,40 @@
+#ifndef TREELOCAL_ALGOS_SWEEP_H_
+#define TREELOCAL_ALGOS_SWEEP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/labeling.h"
+#include "src/problems/problem.h"
+
+namespace treelocal {
+
+// Color-class sweeps: given a proper coloring with colors in [0,
+// num_colors) of the active nodes (or of the line graph for edge problems),
+// process the color classes in increasing order, one LOCAL round per class.
+// Within a class the elements form an independent set, so their 1-hop
+// greedy decisions cannot interact and the sequential greedy is executed
+// faithfully.
+//
+// Round accounting: nodes know the schedule length num_colors (a function
+// of n, Delta they all know) but NOT which classes are globally empty, so
+// every class burns a round — the honest LOCAL cost returned is
+// `num_colors`, not the number of nonempty classes. (A literal engine
+// execution is cross-validated in tests/distributed_sweep_test.cc.)
+
+// `host_nodes[i]` is colored `colors[i]`; labels all their unset half-edges.
+// Returns the number of sweep rounds (= num_colors).
+int64_t SweepNodeClasses(const NodeProblem& problem, const Graph& host,
+                         const std::vector<int>& host_nodes,
+                         const std::vector<int64_t>& colors,
+                         int64_t num_colors, HalfEdgeLabeling& h);
+
+// Same for edge problems: `host_edges[i]` colored `colors[i]`.
+int64_t SweepEdgeClasses(const EdgeProblem& problem, const Graph& host,
+                         const std::vector<int>& host_edges,
+                         const std::vector<int64_t>& colors,
+                         int64_t num_colors, HalfEdgeLabeling& h);
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_ALGOS_SWEEP_H_

@@ -1,0 +1,31 @@
+#include "src/core/baseline.h"
+
+#include "src/graph/semigraph.h"
+
+namespace treelocal {
+
+BaselineResult RunNodeBaseline(const NodeProblem& problem, const Graph& g,
+                               const std::vector<int64_t>& ids,
+                               int64_t id_space) {
+  BaselineResult result;
+  result.labeling = HalfEdgeLabeling(g);
+  SemiGraph whole = SemiGraph::Whole(g);
+  result.stats = RunNodeBase(problem, whole, ids, id_space, result.labeling);
+  result.rounds_total = result.stats.rounds;
+  result.valid = problem.ValidateGraph(g, result.labeling, &result.why);
+  return result;
+}
+
+BaselineResult RunEdgeBaseline(const EdgeProblem& problem, const Graph& g,
+                               const std::vector<int64_t>& ids,
+                               int64_t id_space) {
+  BaselineResult result;
+  result.labeling = HalfEdgeLabeling(g);
+  SemiGraph whole = SemiGraph::Whole(g);
+  result.stats = RunEdgeBase(problem, whole, ids, id_space, result.labeling);
+  result.rounds_total = result.stats.rounds;
+  result.valid = problem.ValidateGraph(g, result.labeling, &result.why);
+  return result;
+}
+
+}  // namespace treelocal

@@ -1,0 +1,53 @@
+#ifndef TREELOCAL_CORE_DECOMPOSITION_H_
+#define TREELOCAL_CORE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace treelocal {
+
+// The paper's new decomposition process (Algorithm 3), run as a LOCAL
+// engine algorithm on a graph of arboricity <= a with parameters b and k
+// (a < b, 5a <= k):
+//   iteration i: Compress(G[V_{i-1}], b, k) marks u if deg(u) <= k and at
+//   most b of u's neighbors have degree > k.
+// Lemma 13 (b = 2a): all nodes are marked within ceil(10 log_{k/a} n) + 1
+// iterations. Each iteration costs 2 engine rounds.
+//
+// The edge classification of Section 4: an edge e = {u,v} with lower
+// endpoint u (layer order; ties by ID) removed in iteration i is *atypical*
+// iff deg_{G[V_{i-1}]}(v) > k; E1 = atypical edges, E2 = typical edges.
+// Lemma 14: Delta(G[E2]) <= k; each node has at most b atypical edges as
+// the lower endpoint.
+struct DecompositionResult {
+  std::vector<int> layer;     // 1-based marking iteration per node
+  std::vector<char> atypical;  // per edge: in E1?
+  int num_layers = 0;
+  int engine_rounds = 0;
+  int64_t messages = 0;
+
+  bool Lower(int u, int v, const std::vector<int64_t>& ids) const {
+    if (layer[u] != layer[v]) return layer[u] < layer[v];
+    return ids[u] < ids[v];
+  }
+
+  // The lower endpoint of edge e under the layer/ID order.
+  int LowerEndpoint(const Graph& g, int e,
+                    const std::vector<int64_t>& ids) const {
+    auto [x, y] = g.Endpoints(e);
+    return Lower(x, y, ids) ? x : y;
+  }
+};
+
+DecompositionResult RunDecomposition(const Graph& g,
+                                     const std::vector<int64_t>& ids, int a,
+                                     int b, int k);
+
+// Lemma 13 bound on the number of iterations.
+int DecompositionIterationBound(int64_t n, int a, int k);
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_CORE_DECOMPOSITION_H_

@@ -1,0 +1,77 @@
+#include "src/core/forest_split.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/algos/cole_vishkin.h"
+#include "src/graph/subgraph.h"
+
+namespace treelocal {
+
+ForestSplitResult SplitAtypicalForests(const Graph& g,
+                                       const std::vector<int64_t>& ids,
+                                       int64_t id_space,
+                                       const DecompositionResult& decomp,
+                                       int a) {
+  ForestSplitResult result;
+  result.num_forests = 2 * a;
+  result.forest_of_edge.assign(g.NumEdges(), -1);
+  result.star_class_of_edge.assign(g.NumEdges(), -1);
+  result.stars.assign(result.num_forests,
+                      std::vector<std::vector<int>>(3));
+
+  // Step 1: each node colors its atypical edges toward higher neighbors
+  // with distinct colors from {0, ..., 2a-1} (possible since there are at
+  // most b = 2a of them, by the compress condition).
+  std::vector<std::vector<int>> forest_edges(result.num_forests);
+  {
+    std::vector<int> next_color(g.NumNodes(), 0);
+    for (int e = 0; e < g.NumEdges(); ++e) {
+      if (!decomp.atypical[e]) continue;
+      int lo = decomp.LowerEndpoint(g, e, ids);
+      int c = next_color[lo]++;
+      if (c >= result.num_forests) {
+        throw std::logic_error(
+            "node has more than 2a atypical edges; decomposition invariant "
+            "violated");
+      }
+      result.forest_of_edge[e] = c;
+      forest_edges[c].push_back(e);
+    }
+  }
+
+  // Step 2: per forest, 3-color the nodes. In F_i every node has at most one
+  // higher neighbor (its own colored edge), so parent = higher endpoint.
+  for (int f = 0; f < result.num_forests; ++f) {
+    if (forest_edges[f].empty()) continue;
+    std::vector<char> edge_mask(g.NumEdges(), 0);
+    for (int e : forest_edges[f]) edge_mask[e] = 1;
+    Subgraph sub = InduceByEdges(g, edge_mask);
+    std::vector<int64_t> sub_ids = RestrictToSubgraph(sub, ids);
+
+    std::vector<int> parent(sub.graph.NumNodes(), -1);
+    for (int se = 0; se < sub.graph.NumEdges(); ++se) {
+      int host_edge = sub.edge_to_host[se];
+      int lo = decomp.LowerEndpoint(g, host_edge, ids);
+      int hi = g.OtherEndpoint(host_edge, lo);
+      parent[sub.host_to_node[lo]] = sub.host_to_node[hi];
+    }
+
+    ColeVishkinResult cv =
+        ColeVishkin3Color(sub.graph, sub_ids, parent, id_space);
+    result.cv_rounds = std::max(result.cv_rounds, cv.rounds);
+
+    // Step 3: F_{i,j} = edges whose higher endpoint has CV color j.
+    for (int se = 0; se < sub.graph.NumEdges(); ++se) {
+      int host_edge = sub.edge_to_host[se];
+      int lo = decomp.LowerEndpoint(g, host_edge, ids);
+      int hi = g.OtherEndpoint(host_edge, lo);
+      int j = cv.colors[sub.host_to_node[hi]];
+      result.star_class_of_edge[host_edge] = j;
+      result.stars[f][j].push_back(host_edge);
+    }
+  }
+  return result;
+}
+
+}  // namespace treelocal

@@ -1,0 +1,36 @@
+#ifndef TREELOCAL_CORE_FOREST_SPLIT_H_
+#define TREELOCAL_CORE_FOREST_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/decomposition.h"
+#include "src/graph/graph.h"
+
+namespace treelocal {
+
+// Splits the atypical edges E1 into 2a forests F_1..F_{2a} (each node colors
+// its <= 2a atypical edges toward higher neighbors with distinct colors),
+// then 3-colors each forest's nodes with Cole-Vishkin in O(log* n) rounds
+// and partitions F_i into F_{i,1}, F_{i,2}, F_{i,3} by the color of the
+// higher endpoint. Every connected component of G[F_{i,j}] is a star
+// centered at its highest node (Section 4 of the paper).
+struct ForestSplitResult {
+  // stars[i][j] = host-edge ids of F_{i+1, j+1}.
+  std::vector<std::vector<std::vector<int>>> stars;
+  // Per-edge forest index (0-based) and star class (0..2); -1 for typical.
+  std::vector<int> forest_of_edge;
+  std::vector<int> star_class_of_edge;
+  int cv_rounds = 0;  // max over the forests (run in parallel in LOCAL)
+  int num_forests = 0;
+};
+
+ForestSplitResult SplitAtypicalForests(const Graph& g,
+                                       const std::vector<int64_t>& ids,
+                                       int64_t id_space,
+                                       const DecompositionResult& decomp,
+                                       int a);
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_CORE_FOREST_SPLIT_H_

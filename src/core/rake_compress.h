@@ -1,0 +1,52 @@
+#ifndef TREELOCAL_CORE_RAKE_COMPRESS_H_
+#define TREELOCAL_CORE_RAKE_COMPRESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace treelocal {
+
+// Rake-and-compress process of [CHL+19] (Algorithm 1 in the paper), run as a
+// LOCAL engine algorithm on a tree with parameter k >= 2:
+//   iteration i: Compress marks unmarked u if deg(u) <= k and every unmarked
+//   neighbor has degree <= k; then Rake marks unmarked u if it has at most
+//   one unmarked non-compressed neighbor left.
+// Each iteration costs 3 engine rounds (degree exchange, compress
+// announcements, rake announcements). Lemma 9 guarantees termination within
+// ceil(log_k n) + 1 iterations.
+struct RakeCompressResult {
+  // 1-based iteration in which the node was marked.
+  std::vector<int> iteration;
+  // True if marked by Compress, false if by Rake.
+  std::vector<char> compressed;
+  int num_iterations = 0;  // iterations actually used
+  int engine_rounds = 0;   // 3 * num_iterations
+  int64_t messages = 0;
+
+  // Total order of Algorithm 1's layers: C_1 < R_1 < C_2 < R_2 < ...
+  // layer(v) = 2*(iteration-1) + (compressed ? 1 : 2).
+  int Layer(int v) const {
+    return 2 * (iteration[v] - 1) + (compressed[v] ? 1 : 2);
+  }
+
+  // Node total order: by layer, ties by ID (higher ID = higher node).
+  bool Lower(int u, int v, const std::vector<int64_t>& ids) const {
+    int lu = Layer(u), lv = Layer(v);
+    if (lu != lv) return lu < lv;
+    return ids[u] < ids[v];
+  }
+};
+
+// `tree` must be a forest (every connected component is handled
+// independently, matching the paper's per-tree statement).
+RakeCompressResult RunRakeCompress(const Graph& tree,
+                                   const std::vector<int64_t>& ids, int k);
+
+// Paper bound on iterations (Lemma 9 / Algorithm 1 loop count).
+int RakeCompressIterationBound(int64_t n, int k);
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_CORE_RAKE_COMPRESS_H_

@@ -1,0 +1,71 @@
+#include "src/core/transform_edge.h"
+
+#include <algorithm>
+
+#include "src/graph/semigraph.h"
+
+namespace treelocal {
+
+Thm15Result SolveEdgeProblemBoundedArboricity(const EdgeProblem& problem,
+                                              const Graph& g,
+                                              const std::vector<int64_t>& ids,
+                                              int64_t id_space, int a,
+                                              int k) {
+  Thm15Result result;
+  result.a = a;
+  result.k = k;
+  result.labeling = HalfEdgeLabeling(g);
+
+  // Phase 1: decomposition with b = 2a (Lemma 13).
+  result.decomposition = RunDecomposition(g, ids, a, 2 * a, k);
+  result.rounds_decomposition = result.decomposition.engine_rounds;
+
+  std::vector<char> typical_mask(g.NumEdges(), 0);
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    if (result.decomposition.atypical[e]) {
+      ++result.num_atypical;
+    } else {
+      typical_mask[e] = 1;
+      ++result.num_typical;
+    }
+  }
+
+  // Phase 2: base algorithm A on G[E2] (Lemma 14: max degree <= k).
+  SemiGraph e2 = SemiGraph::EdgeInduced(g, typical_mask);
+  result.base_stats = RunEdgeBase(problem, e2, ids, id_space,
+                                  result.labeling);
+  result.rounds_base = result.base_stats.rounds;
+
+  // Phase 3: split E1 into 2a rooted forests, 3-color each (O(log* n)).
+  ForestSplitResult split =
+      SplitAtypicalForests(g, ids, id_space, result.decomposition, a);
+  // The per-node edge coloring is 1 round; CV runs on all forests in
+  // parallel (unbounded messages), costing the max.
+  result.rounds_split = split.cv_rounds + 1;
+
+  // Phase 4: Algorithm 4 — for each (i, j) stage, every star solves its Pi*
+  // instance at the center: leaves send their constraints (1 round), the
+  // center solves sequentially and replies (1 round). Stages run one after
+  // the other: 2 rounds each, 6a stages.
+  int stage_rounds = 0;
+  for (int f = 0; f < split.num_forests; ++f) {
+    for (int j = 0; j < 3; ++j) {
+      stage_rounds += 2;
+      const std::vector<int>& star_edges = split.stars[f][j];
+      if (star_edges.empty()) continue;
+      // Stars within one stage are node-disjoint; sequential completion of
+      // each star's edges implements the Lemma 16/17 labeling process.
+      std::vector<int> ordered = star_edges;
+      std::sort(ordered.begin(), ordered.end());
+      problem.CompleteEdges(g, ordered, result.labeling);
+    }
+  }
+  result.rounds_gather = stage_rounds;
+
+  result.rounds_total = result.rounds_decomposition + result.rounds_base +
+                        result.rounds_split + result.rounds_gather;
+  result.valid = problem.ValidateGraph(g, result.labeling, &result.why);
+  return result;
+}
+
+}  // namespace treelocal

@@ -1,0 +1,73 @@
+#include "src/core/transform_node.h"
+
+#include <algorithm>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/semigraph.h"
+
+namespace treelocal {
+
+Thm12Result SolveNodeProblemOnTree(const NodeProblem& problem,
+                                   const Graph& tree,
+                                   const std::vector<int64_t>& ids,
+                                   int64_t id_space, int k) {
+  Thm12Result result;
+  result.k = k;
+  result.labeling = HalfEdgeLabeling(tree);
+
+  // Phase 1: decomposition.
+  result.rake_compress = RunRakeCompress(tree, ids, k);
+  result.rounds_decomposition = result.rake_compress.engine_rounds;
+
+  std::vector<char> compressed_mask(tree.NumNodes(), 0);
+  std::vector<char> raked_mask(tree.NumNodes(), 0);
+  for (int v = 0; v < tree.NumNodes(); ++v) {
+    if (result.rake_compress.compressed[v]) {
+      compressed_mask[v] = 1;
+      ++result.num_compressed;
+    } else {
+      raked_mask[v] = 1;
+      ++result.num_raked;
+    }
+  }
+
+  // Phase 2: base algorithm A on T_C (Lemma 10: max degree <= k).
+  SemiGraph tc = SemiGraph::NodeInduced(tree, compressed_mask);
+  result.base_stats =
+      RunNodeBase(problem, tc, ids, id_space, result.labeling);
+  result.rounds_base = result.base_stats.rounds;
+
+  // Phase 3: Algorithm 2 on T_R — gather each component at its highest node
+  // (leader), solve the Pi^x instance sequentially, broadcast back. All
+  // components run in parallel; the cost is 2*ecc+1 of the worst one.
+  // Leader key = (layer, ID) encoded so the paper's "highest node" wins.
+  std::vector<int64_t> leader_key(tree.NumNodes(), 0);
+  for (int v = 0; v < tree.NumNodes(); ++v) {
+    leader_key[v] =
+        static_cast<int64_t>(result.rake_compress.Layer(v)) * (id_space + 1) +
+        ids[v];
+  }
+  std::vector<ComponentLeader> components =
+      MaskedComponentLeaders(tree, raked_mask, leader_key);
+  result.num_rake_components = static_cast<int>(components.size());
+  for (const ComponentLeader& comp : components) {
+    // Sequential completion in any adversarial order is legal for P1
+    // problems; process in increasing (layer, ID) order.
+    std::vector<int> order = comp.nodes;
+    std::sort(order.begin(), order.end(), [&](int x, int y) {
+      return leader_key[x] < leader_key[y];
+    });
+    problem.CompleteNodes(tree, order, result.labeling);
+    result.rounds_gather =
+        std::max(result.rounds_gather, 2 * comp.eccentricity + 1);
+    result.max_rake_component_diameter =
+        std::max(result.max_rake_component_diameter, comp.eccentricity);
+  }
+
+  result.rounds_total = result.rounds_decomposition + result.rounds_base +
+                        result.rounds_gather;
+  result.valid = problem.ValidateGraph(tree, result.labeling, &result.why);
+  return result;
+}
+
+}  // namespace treelocal

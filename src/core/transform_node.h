@@ -1,0 +1,51 @@
+#ifndef TREELOCAL_CORE_TRANSFORM_NODE_H_
+#define TREELOCAL_CORE_TRANSFORM_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/algos/base_algorithms.h"
+#include "src/core/rake_compress.h"
+#include "src/graph/graph.h"
+#include "src/graph/labeling.h"
+#include "src/problems/problem.h"
+
+namespace treelocal {
+
+// Theorem 12 pipeline for node problems (class P1) on trees:
+//   1. Rake-and-compress with parameter k (Algorithm 1), O(log_k n) rounds.
+//   2. Run the base algorithm A on the semi-graph T_C induced by the
+//      compressed nodes (max degree <= k by Lemma 10): O(f(k) + log* n).
+//   3. Algorithm 2 ("edge-list solver"): per connected component of T_R
+//      (diameter O(log_k n) by Lemma 11), the highest node gathers the
+//      component, completes the partial solution (the Pi^x instance) with
+//      the problem's sequential greedy, and broadcasts it back.
+// With k = g(n), the total is O(f(g(n)) + log* n) rounds.
+struct Thm12Result {
+  HalfEdgeLabeling labeling;
+  bool valid = false;
+  std::string why;
+
+  int k = 0;
+  int rounds_total = 0;
+  int rounds_decomposition = 0;
+  int rounds_base = 0;
+  int rounds_gather = 0;
+
+  RakeCompressResult rake_compress;
+  BaseRunStats base_stats;
+  int num_rake_components = 0;
+  int max_rake_component_diameter = 0;
+  int64_t num_compressed = 0;
+  int64_t num_raked = 0;
+};
+
+Thm12Result SolveNodeProblemOnTree(const NodeProblem& problem,
+                                   const Graph& tree,
+                                   const std::vector<int64_t>& ids,
+                                   int64_t id_space, int k);
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_CORE_TRANSFORM_NODE_H_

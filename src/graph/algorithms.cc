@@ -1,0 +1,172 @@
+#include "src/graph/algorithms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+namespace treelocal {
+
+std::vector<int> BfsDistances(const Graph& g, int source) {
+  std::vector<int> dist(g.NumNodes(), -1);
+  std::queue<int> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    int v = q.front();
+    q.pop();
+    for (int u : g.Neighbors(v)) {
+      if (dist[u] < 0) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> ConnectedComponents(const Graph& g, int* num_components) {
+  std::vector<char> mask(g.NumNodes(), 1);
+  return MaskedComponents(g, mask, num_components);
+}
+
+std::vector<int> MaskedComponents(const Graph& g, const std::vector<char>& mask,
+                                  int* num_components) {
+  std::vector<int> comp(g.NumNodes(), -1);
+  int next = 0;
+  std::vector<int> stack;
+  for (int s = 0; s < g.NumNodes(); ++s) {
+    if (!mask[s] || comp[s] >= 0) continue;
+    comp[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      for (int u : g.Neighbors(v)) {
+        if (mask[u] && comp[u] < 0) {
+          comp[u] = next;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++next;
+  }
+  if (num_components) *num_components = next;
+  return comp;
+}
+
+namespace {
+
+// BFS within the mask from `source`; returns (farthest node, distance) and
+// optionally fills dist_out.
+std::pair<int, int> MaskedBfsFarthest(const Graph& g,
+                                      const std::vector<char>& mask,
+                                      int source, std::vector<int>* dist_out) {
+  std::vector<int> dist(g.NumNodes(), -1);
+  std::queue<int> q;
+  dist[source] = 0;
+  q.push(source);
+  int far = source, far_d = 0;
+  while (!q.empty()) {
+    int v = q.front();
+    q.pop();
+    if (dist[v] > far_d) {
+      far_d = dist[v];
+      far = v;
+    }
+    for (int u : g.Neighbors(v)) {
+      if (mask[u] && dist[u] < 0) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  if (dist_out) *dist_out = std::move(dist);
+  return {far, far_d};
+}
+
+}  // namespace
+
+std::vector<int> MaskedTreeComponentDiameters(const Graph& g,
+                                              const std::vector<char>& mask,
+                                              const std::vector<int>& comp,
+                                              int num_components) {
+  std::vector<int> diameter(num_components, 0);
+  std::vector<char> done(num_components, 0);
+  for (int v = 0; v < g.NumNodes(); ++v) {
+    if (!mask[v] || comp[v] < 0 || done[comp[v]]) continue;
+    done[comp[v]] = 1;
+    // Double BFS: exact on trees/forest components.
+    auto [far, d1] = MaskedBfsFarthest(g, mask, v, nullptr);
+    auto [far2, d2] = MaskedBfsFarthest(g, mask, far, nullptr);
+    (void)far2;
+    (void)d1;
+    diameter[comp[v]] = d2;
+  }
+  return diameter;
+}
+
+bool IsForest(const Graph& g) {
+  int num_components = 0;
+  ConnectedComponents(g, &num_components);
+  // A graph is a forest iff m = n - #components.
+  return g.NumEdges() == g.NumNodes() - num_components;
+}
+
+bool IsTree(const Graph& g) {
+  int num_components = 0;
+  ConnectedComponents(g, &num_components);
+  return num_components <= 1 && g.NumEdges() == g.NumNodes() - 1;
+}
+
+bool GreedyForestCover(const Graph& g, int a) {
+  // Assign each edge to the first forest where it does not close a cycle,
+  // tracked by union-find per forest.
+  std::vector<std::vector<int>> parent(
+      a, std::vector<int>(g.NumNodes()));
+  for (auto& p : parent) std::iota(p.begin(), p.end(), 0);
+  auto find = [](std::vector<int>& p, int x) {
+    while (p[x] != x) {
+      p[x] = p[p[x]];
+      x = p[x];
+    }
+    return x;
+  };
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    auto [u, v] = g.Endpoints(e);
+    bool placed = false;
+    for (int f = 0; f < a && !placed; ++f) {
+      int ru = find(parent[f], u), rv = find(parent[f], v);
+      if (ru != rv) {
+        parent[f][ru] = rv;
+        placed = true;
+      }
+    }
+    if (!placed) return false;
+  }
+  return true;
+}
+
+std::vector<ComponentLeader> MaskedComponentLeaders(
+    const Graph& g, const std::vector<char>& mask,
+    const std::vector<int64_t>& key) {
+  int num_components = 0;
+  std::vector<int> comp = MaskedComponents(g, mask, &num_components);
+  std::vector<ComponentLeader> leaders(num_components);
+  for (int v = 0; v < g.NumNodes(); ++v) {
+    if (!mask[v]) continue;
+    ComponentLeader& cl = leaders[comp[v]];
+    cl.nodes.push_back(v);
+    if (cl.leader < 0 || key[v] > key[cl.leader]) cl.leader = v;
+  }
+  for (auto& cl : leaders) {
+    std::vector<int> dist;
+    MaskedBfsFarthest(g, mask, cl.leader, &dist);
+    int ecc = 0;
+    for (int v : cl.nodes) ecc = std::max(ecc, dist[v]);
+    cl.eccentricity = ecc;
+  }
+  return leaders;
+}
+
+}  // namespace treelocal

@@ -1,0 +1,71 @@
+#include "src/graph/dot_export.h"
+
+#include <sstream>
+
+namespace treelocal {
+
+namespace {
+
+// A small qualitative palette cycled by class index.
+const char* const kPalette[] = {"#4e79a7", "#f28e2b", "#e15759", "#76b7b2",
+                                "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+                                "#9c755f", "#bab0ac"};
+constexpr int kPaletteSize = 10;
+
+std::string LabelText(const Problem* problem, Label l) {
+  if (l == kUnsetLabel) return "?";
+  if (problem) return problem->LabelToString(l);
+  return std::to_string(l);
+}
+
+}  // namespace
+
+void WriteDot(std::ostream& out, const Graph& g,
+              const std::vector<int64_t>& ids, const HalfEdgeLabeling* h,
+              const DotOptions& options) {
+  out << "graph \"" << options.graph_name << "\" {\n";
+  out << "  node [shape=circle fontsize=10];\n";
+  for (int v = 0; v < g.NumNodes(); ++v) {
+    out << "  n" << v << " [label=\"" << v;
+    if (v < static_cast<int>(ids.size())) out << "\\nid=" << ids[v];
+    out << "\"";
+    if (!options.node_class.empty()) {
+      int c = options.node_class[v];
+      out << " style=filled fillcolor=\""
+          << kPalette[((c % kPaletteSize) + kPaletteSize) % kPaletteSize]
+          << "\"";
+    }
+    out << "];\n";
+  }
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    auto [u, v] = g.Endpoints(e);
+    out << "  n" << u << " -- n" << v;
+    std::ostringstream attrs;
+    if (h) {
+      attrs << "taillabel=\"" << LabelText(options.problem, h->Get(e, u))
+            << "\" headlabel=\"" << LabelText(options.problem, h->Get(e, v))
+            << "\" labelfontsize=8 ";
+    }
+    if (!options.edge_class.empty()) {
+      int c = options.edge_class[e];
+      if (c >= 0) {
+        attrs << "color=\"" << kPalette[c % kPaletteSize] << "\" penwidth=2 ";
+      } else {
+        attrs << "style=dashed ";
+      }
+    }
+    std::string a = attrs.str();
+    if (!a.empty()) out << " [" << a << "]";
+    out << ";\n";
+  }
+  out << "}\n";
+}
+
+std::string ToDot(const Graph& g, const std::vector<int64_t>& ids,
+                  const HalfEdgeLabeling* h, const DotOptions& options) {
+  std::ostringstream os;
+  WriteDot(os, g, ids, h, options);
+  return os.str();
+}
+
+}  // namespace treelocal

@@ -1,0 +1,39 @@
+#ifndef TREELOCAL_GRAPH_DOT_EXPORT_H_
+#define TREELOCAL_GRAPH_DOT_EXPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/graph/labeling.h"
+#include "src/problems/problem.h"
+
+namespace treelocal {
+
+// Graphviz export for inspection and debugging: nodes annotated with IDs,
+// edges with the two half-edge labels rendered by the problem. Decomposition
+// metadata (layer per node, class per edge) can be overlaid as colors.
+struct DotOptions {
+  // Optional per-node annotation (e.g. rake/compress layer); same length as
+  // the node count or empty.
+  std::vector<int> node_class;
+  // Optional per-edge annotation (e.g. typical/atypical, forest index).
+  std::vector<int> edge_class;
+  // Render half-edge labels via this problem (may be null: plain numbers).
+  const Problem* problem = nullptr;
+  std::string graph_name = "treelocal";
+};
+
+// Writes the graph (and a possibly partial labeling) in DOT format.
+void WriteDot(std::ostream& out, const Graph& g,
+              const std::vector<int64_t>& ids, const HalfEdgeLabeling* h,
+              const DotOptions& options = {});
+
+// Convenience: render to a string.
+std::string ToDot(const Graph& g, const std::vector<int64_t>& ids,
+                  const HalfEdgeLabeling* h, const DotOptions& options = {});
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_GRAPH_DOT_EXPORT_H_

@@ -1,0 +1,287 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+#include "src/support/rng.h"
+
+namespace treelocal {
+
+Graph Path(int n) {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(std::max(0, n - 1));
+  for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph Star(int n) {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(std::max(0, n - 1));
+  for (int i = 1; i < n; ++i) edges.emplace_back(0, i);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph BalancedRegularTree(int n, int delta) {
+  if (delta < 2) throw std::invalid_argument("delta must be >= 2");
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(std::max(0, n - 1));
+  // BFS construction: node 0 is the root with capacity delta; every later
+  // node has capacity delta - 1 children.
+  int next = 1;
+  std::vector<int> frontier = {0};
+  while (next < n && !frontier.empty()) {
+    std::vector<int> next_frontier;
+    for (int parent : frontier) {
+      int capacity = (parent == 0) ? delta : delta - 1;
+      for (int c = 0; c < capacity && next < n; ++c) {
+        edges.emplace_back(parent, next);
+        next_frontier.push_back(next);
+        ++next;
+      }
+      if (next >= n) break;
+    }
+    frontier = std::move(next_frontier);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph UniformRandomTree(int n, uint64_t seed) {
+  if (n <= 2) return Path(std::max(n, 0));
+  Rng rng(seed);
+  // Pruefer decoding.
+  std::vector<int> prufer(n - 2);
+  for (auto& x : prufer) x = static_cast<int>(rng.NextBelow(n));
+  std::vector<int> degree(n, 1);
+  for (int x : prufer) ++degree[x];
+  std::set<int> leaves;
+  for (int v = 0; v < n; ++v) {
+    if (degree[v] == 1) leaves.insert(v);
+  }
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(n - 1);
+  for (int x : prufer) {
+    int leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    edges.emplace_back(leaf, x);
+    if (--degree[x] == 1) leaves.insert(x);
+  }
+  int a = *leaves.begin();
+  int b = *std::next(leaves.begin());
+  edges.emplace_back(a, b);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph RandomRecursiveTree(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(std::max(0, n - 1));
+  for (int i = 1; i < n; ++i) {
+    edges.emplace_back(static_cast<int>(rng.NextBelow(i)), i);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph BoundedDegreeRandomTree(int n, int max_degree, uint64_t seed) {
+  if (max_degree < 2) throw std::invalid_argument("max_degree must be >= 2");
+  Rng rng(seed);
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(std::max(0, n - 1));
+  std::vector<int> degree(n, 0);
+  // `open` holds nodes with remaining capacity; sample and lazily evict.
+  std::vector<int> open = {0};
+  for (int i = 1; i < n; ++i) {
+    int parent = -1;
+    while (true) {
+      size_t idx = rng.NextBelow(open.size());
+      parent = open[idx];
+      if (degree[parent] < max_degree) break;
+      open[idx] = open.back();
+      open.pop_back();
+      assert(!open.empty());
+    }
+    edges.emplace_back(parent, i);
+    ++degree[parent];
+    degree[i] = 1;
+    if (degree[i] < max_degree) open.push_back(i);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph Caterpillar(int spine, int legs) {
+  int n = spine * (legs + 1);
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(std::max(0, n - 1));
+  for (int i = 0; i + 1 < spine; ++i) edges.emplace_back(i, i + 1);
+  int next = spine;
+  for (int i = 0; i < spine; ++i) {
+    for (int l = 0; l < legs; ++l) edges.emplace_back(i, next++);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph Spider(int legs, int leg_len) {
+  int n = 1 + legs * leg_len;
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(std::max(0, n - 1));
+  int next = 1;
+  for (int l = 0; l < legs; ++l) {
+    int prev = 0;
+    for (int i = 0; i < leg_len; ++i) {
+      edges.emplace_back(prev, next);
+      prev = next++;
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph CompleteBinaryTree(int n) {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(std::max(0, n - 1));
+  for (int i = 1; i < n; ++i) edges.emplace_back((i - 1) / 2, i);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph Grid(int rows, int cols) {
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  std::vector<std::pair<int, int>> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph::FromEdges(rows * cols, std::move(edges));
+}
+
+Graph TriangulatedGrid(int rows, int cols) {
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  std::vector<std::pair<int, int>> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+      if (r + 1 < rows && c + 1 < cols) {
+        edges.emplace_back(id(r, c), id(r + 1, c + 1));
+      }
+    }
+  }
+  return Graph::FromEdges(rows * cols, std::move(edges));
+}
+
+std::vector<Graph> ForestUnionParts(int n, int a, uint64_t seed) {
+  std::vector<Graph> parts;
+  parts.reserve(a);
+  for (int f = 0; f < a; ++f) {
+    parts.push_back(UniformRandomTree(n, seed * 1000003ULL + f));
+  }
+  return parts;
+}
+
+Graph ForestUnion(int n, int a, uint64_t seed) {
+  std::set<std::pair<int, int>> edge_set;
+  for (const Graph& tree : ForestUnionParts(n, a, seed)) {
+    for (int e = 0; e < tree.NumEdges(); ++e) {
+      edge_set.insert(tree.Endpoints(e));
+    }
+  }
+  std::vector<std::pair<int, int>> edges(edge_set.begin(), edge_set.end());
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph StarUnion(int n, int a, uint64_t seed) {
+  Rng rng(seed);
+  std::set<std::pair<int, int>> edge_set;
+  std::set<int> centers;
+  while (static_cast<int>(centers.size()) < a) {
+    centers.insert(static_cast<int>(rng.NextBelow(n)));
+  }
+  for (int c : centers) {
+    for (int v = 0; v < n; ++v) {
+      if (v == c) continue;
+      edge_set.insert({std::min(v, c), std::max(v, c)});
+    }
+  }
+  std::vector<std::pair<int, int>> edges(edge_set.begin(), edge_set.end());
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph HubbedForest(int n, int a, uint64_t seed) {
+  Rng rng(seed);
+  std::set<std::pair<int, int>> edge_set;
+  // Forest 1: a random recursive tree as connectivity backbone.
+  {
+    Graph tree = RandomRecursiveTree(n, seed + 1);
+    for (int e = 0; e < tree.NumEdges(); ++e) {
+      edge_set.insert(tree.Endpoints(e));
+    }
+  }
+  // Forests 2..a: stars from a hub to ~n/2 random nodes (each a forest).
+  for (int f = 1; f < a; ++f) {
+    int hub = static_cast<int>(rng.NextBelow(n));
+    for (int i = 0; i < n / 2; ++i) {
+      int v = static_cast<int>(rng.NextBelow(n));
+      if (v == hub) continue;
+      edge_set.insert({std::min(v, hub), std::max(v, hub)});
+    }
+  }
+  std::vector<std::pair<int, int>> edges(edge_set.begin(), edge_set.end());
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph MakeTree(TreeFamily family, int n, uint64_t seed) {
+  switch (family) {
+    case TreeFamily::kPath:
+      return Path(n);
+    case TreeFamily::kStar:
+      return Star(n);
+    case TreeFamily::kBalanced3:
+      return BalancedRegularTree(n, 3);
+    case TreeFamily::kBalanced8:
+      return BalancedRegularTree(n, 8);
+    case TreeFamily::kUniform:
+      return UniformRandomTree(n, seed);
+    case TreeFamily::kRecursive:
+      return RandomRecursiveTree(n, seed);
+    case TreeFamily::kCaterpillar: {
+      int spine = std::max(1, n / 4);
+      Graph g = Caterpillar(spine, 3);
+      return g;
+    }
+    case TreeFamily::kBinary:
+      return CompleteBinaryTree(n);
+  }
+  throw std::invalid_argument("unknown family");
+}
+
+std::string TreeFamilyName(TreeFamily family) {
+  switch (family) {
+    case TreeFamily::kPath:
+      return "path";
+    case TreeFamily::kStar:
+      return "star";
+    case TreeFamily::kBalanced3:
+      return "balanced3";
+    case TreeFamily::kBalanced8:
+      return "balanced8";
+    case TreeFamily::kUniform:
+      return "uniform";
+    case TreeFamily::kRecursive:
+      return "recursive";
+    case TreeFamily::kCaterpillar:
+      return "caterpillar";
+    case TreeFamily::kBinary:
+      return "binary";
+  }
+  return "?";
+}
+
+std::vector<TreeFamily> AllTreeFamilies() {
+  return {TreeFamily::kPath,      TreeFamily::kStar,
+          TreeFamily::kBalanced3, TreeFamily::kBalanced8,
+          TreeFamily::kUniform,   TreeFamily::kRecursive,
+          TreeFamily::kCaterpillar, TreeFamily::kBinary};
+}
+
+}  // namespace treelocal

@@ -1,0 +1,37 @@
+#include "src/graph/labeling.h"
+
+namespace treelocal {
+
+std::vector<Label> HalfEdgeLabeling::AssignedAtNode(int node) const {
+  std::vector<Label> out;
+  for (int e : host_->IncidentEdges(node)) {
+    Label l = Get(e, node);
+    if (l != kUnsetLabel) out.push_back(l);
+  }
+  return out;
+}
+
+int HalfEdgeLabeling::NumAssignedAtNode(int node) const {
+  int count = 0;
+  for (int e : host_->IncidentEdges(node)) {
+    if (Get(e, node) != kUnsetLabel) ++count;
+  }
+  return count;
+}
+
+bool HalfEdgeLabeling::FullyAssigned() const {
+  for (Label l : labels_) {
+    if (l == kUnsetLabel) return false;
+  }
+  return true;
+}
+
+int64_t HalfEdgeLabeling::NumAssigned() const {
+  int64_t count = 0;
+  for (Label l : labels_) {
+    if (l != kUnsetLabel) ++count;
+  }
+  return count;
+}
+
+}  // namespace treelocal

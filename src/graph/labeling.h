@@ -1,0 +1,65 @@
+#ifndef TREELOCAL_GRAPH_LABELING_H_
+#define TREELOCAL_GRAPH_LABELING_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace treelocal {
+
+// Output label on a half-edge. Each concrete problem defines its own
+// encoding (see src/problems/*). kUnsetLabel marks a not-yet-assigned
+// half-edge during the staged pipelines.
+using Label = int64_t;
+inline constexpr Label kUnsetLabel = std::numeric_limits<int64_t>::min();
+
+// A half-edge labeling h_out : H(G) -> Sigma over a host graph, with partial
+// assignments (phases of the transformation write disjoint subsets).
+class HalfEdgeLabeling {
+ public:
+  HalfEdgeLabeling() = default;
+  explicit HalfEdgeLabeling(const Graph& host)
+      : host_(&host),
+        labels_(2 * static_cast<size_t>(host.NumEdges()), kUnsetLabel) {}
+
+  const Graph& host() const { return *host_; }
+
+  Label GetSlot(int edge, int slot) const { return labels_[2 * edge + slot]; }
+  void SetSlot(int edge, int slot, Label l) { labels_[2 * edge + slot] = l; }
+
+  // Access by (edge, incident node).
+  Label Get(int edge, int node) const {
+    return GetSlot(edge, host_->EndpointSlot(edge, node));
+  }
+  void Set(int edge, int node, Label l) {
+    SetSlot(edge, host_->EndpointSlot(edge, node), l);
+  }
+
+  bool IsSet(int edge, int slot) const {
+    return GetSlot(edge, slot) != kUnsetLabel;
+  }
+  bool IsSetAt(int edge, int node) const {
+    return Get(edge, node) != kUnsetLabel;
+  }
+
+  // All assigned labels on half-edges incident to `node` (order: port order).
+  std::vector<Label> AssignedAtNode(int node) const;
+
+  // Number of assigned half-edges incident to `node`.
+  int NumAssignedAtNode(int node) const;
+
+  // True if every half-edge of the host graph is labeled.
+  bool FullyAssigned() const;
+
+  int64_t NumAssigned() const;
+
+ private:
+  const Graph* host_ = nullptr;
+  std::vector<Label> labels_;
+};
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_GRAPH_LABELING_H_

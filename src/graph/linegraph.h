@@ -1,0 +1,25 @@
+#ifndef TREELOCAL_GRAPH_LINEGRAPH_H_
+#define TREELOCAL_GRAPH_LINEGRAPH_H_
+
+#include "src/graph/graph.h"
+
+namespace treelocal {
+
+// Line graph L(G): one node per edge of G, adjacency = edge adjacency in G.
+// Running a vertex algorithm on L(G) solves the corresponding edge problem
+// on G (maximal matching = MIS on L(G), (edge-degree+1)-edge coloring =
+// (deg+1)-coloring on L(G)); one L(G) round is simulable in O(1) G rounds.
+struct LineGraph {
+  Graph graph;  // node i of `graph` corresponds to edge i of the host
+};
+
+LineGraph BuildLineGraph(const Graph& host);
+
+// Deterministic distinct IDs for L(G) nodes derived from the host edge's
+// endpoint IDs (so symmetry breaking on L(G) is legitimate LOCAL input).
+std::vector<int64_t> LineGraphIds(const Graph& host,
+                                  const std::vector<int64_t>& host_ids);
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_GRAPH_LINEGRAPH_H_

@@ -1,0 +1,82 @@
+#include "src/graph/semigraph.h"
+
+namespace treelocal {
+
+SemiGraph SemiGraph::NodeInduced(const Graph& host,
+                                 const std::vector<char>& node_mask) {
+  SemiGraph s;
+  s.host_ = &host;
+  s.node_mask_ = node_mask;
+  s.edge_mask_.assign(host.NumEdges(), 0);
+  s.half_present_.assign(2 * static_cast<size_t>(host.NumEdges()), 0);
+  for (int e = 0; e < host.NumEdges(); ++e) {
+    auto [u, v] = host.Endpoints(e);
+    if (node_mask[u] || node_mask[v]) {
+      s.edge_mask_[e] = 1;
+      if (node_mask[u]) s.half_present_[2 * e + 0] = 1;
+      if (node_mask[v]) s.half_present_[2 * e + 1] = 1;
+    }
+  }
+  s.Finalize();
+  return s;
+}
+
+SemiGraph SemiGraph::EdgeInduced(const Graph& host,
+                                 const std::vector<char>& edge_mask) {
+  SemiGraph s;
+  s.host_ = &host;
+  s.node_mask_.assign(host.NumNodes(), 0);
+  s.edge_mask_ = edge_mask;
+  s.half_present_.assign(2 * static_cast<size_t>(host.NumEdges()), 0);
+  for (int e = 0; e < host.NumEdges(); ++e) {
+    if (!edge_mask[e]) continue;
+    auto [u, v] = host.Endpoints(e);
+    s.node_mask_[u] = 1;
+    s.node_mask_[v] = 1;
+    s.half_present_[2 * e + 0] = 1;
+    s.half_present_[2 * e + 1] = 1;
+  }
+  s.Finalize();
+  return s;
+}
+
+SemiGraph SemiGraph::Whole(const Graph& host) {
+  std::vector<char> all(host.NumEdges(), 1);
+  if (host.NumEdges() == 0) {
+    SemiGraph s;
+    s.host_ = &host;
+    s.node_mask_.assign(host.NumNodes(), 1);
+    s.edge_mask_.clear();
+    s.half_present_.clear();
+    s.Finalize();
+    return s;
+  }
+  SemiGraph s = EdgeInduced(host, all);
+  // Isolated host nodes still belong to the whole semi-graph.
+  s.node_mask_.assign(host.NumNodes(), 1);
+  s.Finalize();
+  return s;
+}
+
+void SemiGraph::Finalize() {
+  semi_degree_.assign(host_->NumNodes(), 0);
+  num_nodes_ = 0;
+  num_edges_ = 0;
+  for (int v = 0; v < host_->NumNodes(); ++v) {
+    if (node_mask_[v]) ++num_nodes_;
+  }
+  for (int e = 0; e < host_->NumEdges(); ++e) {
+    if (e < static_cast<int>(edge_mask_.size()) && edge_mask_[e]) ++num_edges_;
+  }
+  for (int e = 0; e < host_->NumEdges(); ++e) {
+    auto [u, v] = host_->Endpoints(e);
+    if (HalfPresent(e, 0)) ++semi_degree_[u];
+    if (HalfPresent(e, 1)) ++semi_degree_[v];
+  }
+}
+
+Subgraph SemiGraph::Underlying() const {
+  return InduceByNodes(*host_, node_mask_);
+}
+
+}  // namespace treelocal

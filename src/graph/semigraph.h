@@ -1,0 +1,77 @@
+#ifndef TREELOCAL_GRAPH_SEMIGRAPH_H_
+#define TREELOCAL_GRAPH_SEMIGRAPH_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/graph/subgraph.h"
+
+namespace treelocal {
+
+// Semi-graph (Definition 4 of the paper), represented relative to a host
+// graph: a subset of host nodes, a subset of host edges with rank 0/1/2
+// (number of endpoints present), and the induced half-edges.
+//
+// Two constructions are used by the paper's pipelines:
+//  - NodeInduced(S): nodes = a node subset C; edges = all host edges with at
+//    least one endpoint in C; half-edges = only the C-side halves. This is
+//    exactly T_C / T_R in Theorem 12 (node-disjoint decomposition).
+//  - EdgeInduced(S): edges = an edge subset Q (with both half-edges); nodes =
+//    endpoints of Q. This is exactly G[E2] / G[F_{i,j}] in Theorem 15
+//    (edge-disjoint decomposition).
+class SemiGraph {
+ public:
+  // Semi-graph T_P for node subset P (Theorem 12 style).
+  static SemiGraph NodeInduced(const Graph& host,
+                               const std::vector<char>& node_mask);
+
+  // Semi-graph G[Q] for edge subset Q (Theorem 15 style).
+  static SemiGraph EdgeInduced(const Graph& host,
+                               const std::vector<char>& edge_mask);
+
+  // The whole host graph viewed as a semi-graph (all ranks 2).
+  static SemiGraph Whole(const Graph& host);
+
+  const Graph& host() const { return *host_; }
+
+  bool ContainsNode(int host_node) const { return node_mask_[host_node]; }
+  bool ContainsEdge(int host_edge) const { return edge_mask_[host_edge]; }
+
+  // Whether half-edge (host_edge, endpoint slot) belongs to this semi-graph.
+  bool HalfPresent(int host_edge, int slot) const {
+    return half_present_[2 * host_edge + slot];
+  }
+
+  // rank(e): number of present half-edges (0 if the edge is absent).
+  int Rank(int host_edge) const {
+    return HalfPresent(host_edge, 0) + HalfPresent(host_edge, 1);
+  }
+
+  // deg(v) within the semi-graph: number of present half-edges at v.
+  int SemiDegree(int host_node) const { return semi_degree_[host_node]; }
+
+  int NumSemiNodes() const { return num_nodes_; }
+  int NumSemiEdges() const { return num_edges_; }
+
+  // Compacted underlying graph (nodes of the semi-graph; rank-2 edges whose
+  // both endpoints are semi-graph nodes), per the paper's definition.
+  Subgraph Underlying() const;
+
+  const std::vector<char>& node_mask() const { return node_mask_; }
+  const std::vector<char>& edge_mask() const { return edge_mask_; }
+
+ private:
+  const Graph* host_ = nullptr;
+  std::vector<char> node_mask_;     // host node in semi-graph
+  std::vector<char> edge_mask_;     // host edge in semi-graph
+  std::vector<char> half_present_;  // 2*m flags
+  std::vector<int> semi_degree_;    // per host node
+  int num_nodes_ = 0;
+  int num_edges_ = 0;
+
+  void Finalize();
+};
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_GRAPH_SEMIGRAPH_H_

@@ -1,0 +1,56 @@
+#include "src/graph/subgraph.h"
+
+namespace treelocal {
+
+Subgraph InduceByNodes(const Graph& host, const std::vector<char>& node_mask) {
+  Subgraph sub;
+  sub.host_to_node.assign(host.NumNodes(), -1);
+  for (int v = 0; v < host.NumNodes(); ++v) {
+    if (node_mask[v]) {
+      sub.host_to_node[v] = static_cast<int>(sub.node_to_host.size());
+      sub.node_to_host.push_back(v);
+    }
+  }
+  std::vector<std::pair<int, int>> edges;
+  for (int e = 0; e < host.NumEdges(); ++e) {
+    auto [u, v] = host.Endpoints(e);
+    if (node_mask[u] && node_mask[v]) {
+      edges.emplace_back(sub.host_to_node[u], sub.host_to_node[v]);
+      sub.edge_to_host.push_back(e);
+    }
+  }
+  sub.graph = Graph::FromEdges(static_cast<int>(sub.node_to_host.size()),
+                               std::move(edges));
+  return sub;
+}
+
+Subgraph InduceByEdges(const Graph& host, const std::vector<char>& edge_mask) {
+  Subgraph sub;
+  sub.host_to_node.assign(host.NumNodes(), -1);
+  auto touch = [&](int v) {
+    if (sub.host_to_node[v] < 0) {
+      sub.host_to_node[v] = static_cast<int>(sub.node_to_host.size());
+      sub.node_to_host.push_back(v);
+    }
+  };
+  for (int e = 0; e < host.NumEdges(); ++e) {
+    if (edge_mask[e]) {
+      auto [u, v] = host.Endpoints(e);
+      touch(u);
+      touch(v);
+    }
+  }
+  std::vector<std::pair<int, int>> edges;
+  for (int e = 0; e < host.NumEdges(); ++e) {
+    if (edge_mask[e]) {
+      auto [u, v] = host.Endpoints(e);
+      edges.emplace_back(sub.host_to_node[u], sub.host_to_node[v]);
+      sub.edge_to_host.push_back(e);
+    }
+  }
+  sub.graph = Graph::FromEdges(static_cast<int>(sub.node_to_host.size()),
+                               std::move(edges));
+  return sub;
+}
+
+}  // namespace treelocal

@@ -1,0 +1,40 @@
+#ifndef TREELOCAL_GRAPH_SUBGRAPH_H_
+#define TREELOCAL_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace treelocal {
+
+// A compacted subgraph of a host graph together with the index maps needed
+// to translate nodes/edges in both directions. Used to run engine algorithms
+// on the pieces produced by the decompositions (G[C], G[E2], G[F_i], ...).
+struct Subgraph {
+  Graph graph;                  // compacted subgraph
+  std::vector<int> node_to_host;  // subgraph node -> host node
+  std::vector<int> host_to_node;  // host node -> subgraph node or -1
+  std::vector<int> edge_to_host;  // subgraph edge -> host edge
+};
+
+// Subgraph induced by the host nodes with mask[v] == true (keeps edges with
+// both endpoints in the mask).
+Subgraph InduceByNodes(const Graph& host, const std::vector<char>& node_mask);
+
+// Subgraph formed by the host edges with mask[e] == true (keeps exactly those
+// edges; node set = their endpoints).
+Subgraph InduceByEdges(const Graph& host, const std::vector<char>& edge_mask);
+
+// Restricts a host-indexed key vector (e.g. IDs) to the subgraph's nodes.
+template <typename T>
+std::vector<T> RestrictToSubgraph(const Subgraph& sub,
+                                  const std::vector<T>& host_values) {
+  std::vector<T> out;
+  out.reserve(sub.node_to_host.size());
+  for (int hv : sub.node_to_host) out.push_back(host_values[hv]);
+  return out;
+}
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,79 @@
+#include "src/local/network.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace treelocal::local {
+
+int NodeContext::degree() const { return net_->graph().Degree(node_); }
+int64_t NodeContext::id() const { return net_->ids_[node_]; }
+int64_t NodeContext::neighbor_id(int port) const {
+  return net_->ids_[net_->graph().Neighbors(node_)[port]];
+}
+int NodeContext::n() const { return net_->graph().NumNodes(); }
+int NodeContext::max_degree() const { return net_->graph().MaxDegree(); }
+int NodeContext::round() const { return net_->round_; }
+
+const Message& NodeContext::Recv(int port) const {
+  const Graph& g = net_->graph();
+  int e = g.IncidentEdges(node_)[port];
+  int sender_slot = 1 - g.EndpointSlot(e, node_);
+  return net_->inbox_[Network::Channel(e, sender_slot)];
+}
+
+void NodeContext::Send(int port, Message m) {
+  const Graph& g = net_->graph();
+  int e = g.IncidentEdges(node_)[port];
+  int my_slot = g.EndpointSlot(e, node_);
+  net_->outbox_[Network::Channel(e, my_slot)] = m;
+}
+
+void NodeContext::Broadcast(Message m) {
+  for (int p = 0; p < degree(); ++p) Send(p, m);
+}
+
+void NodeContext::Halt() {
+  if (!net_->halted_[node_]) {
+    net_->halted_[node_] = 1;
+    ++net_->num_halted_;
+  }
+}
+
+Network::Network(const Graph& graph, std::vector<int64_t> ids)
+    : graph_(&graph), ids_(std::move(ids)) {
+  assert(static_cast<int>(ids_.size()) == graph.NumNodes());
+  inbox_.assign(2 * static_cast<size_t>(graph.NumEdges()), Message{});
+  outbox_.assign(2 * static_cast<size_t>(graph.NumEdges()), Message{});
+  halted_.assign(graph.NumNodes(), 0);
+}
+
+int Network::Run(Algorithm& alg, int max_rounds) {
+  const int n = graph_->NumNodes();
+  round_ = 0;
+  num_halted_ = 0;
+  messages_delivered_ = 0;
+  std::fill(halted_.begin(), halted_.end(), 0);
+  std::fill(inbox_.begin(), inbox_.end(), Message{});
+  std::fill(outbox_.begin(), outbox_.end(), Message{});
+
+  while (num_halted_ < n) {
+    if (round_ >= max_rounds) {
+      throw std::runtime_error("Network::Run exceeded max_rounds");
+    }
+    for (int v = 0; v < n; ++v) {
+      if (halted_[v]) continue;
+      NodeContext ctx(this, v);
+      alg.OnRound(ctx);
+    }
+    // Deliver: what was sent this round is readable next round.
+    std::swap(inbox_, outbox_);
+    for (auto& m : outbox_) m = Message{};
+    for (const auto& m : inbox_) {
+      if (m.present()) ++messages_delivered_;
+    }
+    ++round_;
+  }
+  return round_;
+}
+
+}  // namespace treelocal::local

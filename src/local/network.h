@@ -1,0 +1,102 @@
+#ifndef TREELOCAL_LOCAL_NETWORK_H_
+#define TREELOCAL_LOCAL_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace treelocal::local {
+
+// Fixed-capacity message: the deterministic symmetry-breaking algorithms in
+// this repository send at most two 64-bit words per edge per round. Keeping
+// the payload inline (no heap) lets the engine run million-node networks.
+struct Message {
+  int64_t word0 = 0;
+  int64_t word1 = 0;
+  uint8_t size = 0;  // 0 = no message
+
+  static Message Of(int64_t a) { return Message{a, 0, 1}; }
+  static Message Of(int64_t a, int64_t b) { return Message{a, b, 2}; }
+  bool present() const { return size > 0; }
+};
+
+class Network;
+
+// Per-node view handed to Algorithm::OnRound. In the LOCAL model (Definition
+// 5) nodes know n, Delta, and their own ID; neighbor IDs become known after
+// one round of communication — the engine exposes them directly for
+// convenience, which is standard (it shifts round counts by at most 1).
+class NodeContext {
+ public:
+  int node() const { return node_; }
+  int degree() const;
+  int64_t id() const;
+  int64_t neighbor_id(int port) const;
+  int n() const;
+  int max_degree() const;
+  int round() const;
+
+  // Message received on `port` this round (sent by the neighbor last round).
+  const Message& Recv(int port) const;
+
+  // Queue a message on `port` for delivery next round.
+  void Send(int port, Message m);
+  void Broadcast(Message m);
+
+  // Mark this node as terminated; OnRound is no longer called for it and its
+  // outgoing channels fall silent.
+  void Halt();
+
+ private:
+  friend class Network;
+  NodeContext(Network* net, int node) : net_(net), node_(node) {}
+  Network* net_;
+  int node_;
+};
+
+// A distributed algorithm: one object, per-node state kept by the
+// implementation in arrays indexed by node. OnRound is invoked once per node
+// per round (round 0 included, with empty inboxes) until every node halts.
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+  virtual void OnRound(NodeContext& ctx) = 0;
+};
+
+// Synchronous message-passing engine over a port-numbered network, per the
+// LOCAL model: all nodes run in lockstep; messages sent in round r are
+// received in round r+1. Deterministic by construction.
+class Network {
+ public:
+  Network(const Graph& graph, std::vector<int64_t> ids);
+
+  // Runs `alg` until every node has halted or `max_rounds` is hit.
+  // Returns the number of rounds executed (a node halting in round r has
+  // round complexity r+1 counted rounds; an algorithm that halts every node
+  // in round 0 used 1 round). Asserts if max_rounds is exceeded.
+  int Run(Algorithm& alg, int max_rounds);
+
+  const Graph& graph() const { return *graph_; }
+  const std::vector<int64_t>& ids() const { return ids_; }
+  int64_t messages_delivered() const { return messages_delivered_; }
+
+ private:
+  friend class NodeContext;
+
+  // Directed channel index for the half-edge (edge e, sender slot s).
+  static size_t Channel(int e, int s) { return 2 * static_cast<size_t>(e) + s; }
+
+  const Graph* graph_;
+  std::vector<int64_t> ids_;
+  std::vector<Message> inbox_;   // indexed by receiving channel
+  std::vector<Message> outbox_;  // indexed by sending channel
+  std::vector<char> halted_;
+  int round_ = 0;
+  int64_t messages_delivered_ = 0;
+  int num_halted_ = 0;
+};
+
+}  // namespace treelocal::local
+
+#endif  // TREELOCAL_LOCAL_NETWORK_H_

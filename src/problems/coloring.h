@@ -1,0 +1,53 @@
+#ifndef TREELOCAL_PROBLEMS_COLORING_H_
+#define TREELOCAL_PROBLEMS_COLORING_H_
+
+#include <vector>
+
+#include "src/problems/problem.h"
+
+namespace treelocal {
+
+// Proper vertex coloring in node-edge-checkable form. A node outputs its
+// color (a positive integer) on every incident half-edge.
+//   N^i: all labels equal to some color c with c <= bound(v), where
+//        bound(v) = Delta + 1 (mode kDeltaPlusOne, Delta fixed globally) or
+//        deg(v) + 1 = i + 1 (mode kDegPlusOne).
+//   E^2: the two colors differ.   E^1: any color.   E^0: {}.
+class ColoringProblem : public NodeProblem {
+ public:
+  enum class Mode { kDeltaPlusOne, kDegPlusOne };
+
+  // `delta` is the maximum degree of the *original* input graph (known to
+  // every node in the LOCAL model); only used in kDeltaPlusOne mode.
+  ColoringProblem(Mode mode, int delta) : mode_(mode), delta_(delta) {}
+
+  std::string Name() const override {
+    return mode_ == Mode::kDeltaPlusOne ? "(Delta+1)-coloring"
+                                        : "(deg+1)-coloring";
+  }
+  bool NodeConfigOk(std::span<const Label> labels) const override;
+  bool EdgeConfigOk(std::span<const Label> labels, int rank) const override;
+
+  // Greedy: smallest color not used by an already-colored neighbor.
+  void SequentialAssign(const Graph& g, int v,
+                        HalfEdgeLabeling& h) const override;
+
+  Mode mode() const { return mode_; }
+  int delta() const { return delta_; }
+
+  // Color per node (0 where uncolored); test/inspection helper.
+  static std::vector<int64_t> ExtractColors(const Graph& g,
+                                            const HalfEdgeLabeling& h);
+
+  // Raw oracle: proper and within the mode's bound.
+  bool IsProperlyColored(const Graph& g,
+                         const std::vector<int64_t>& colors) const;
+
+ private:
+  Mode mode_;
+  int delta_;
+};
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_PROBLEMS_COLORING_H_

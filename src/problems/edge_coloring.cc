@@ -1,0 +1,120 @@
+#include "src/problems/edge_coloring.h"
+
+#include <algorithm>
+#include <set>
+
+namespace treelocal {
+
+bool EdgeColoringProblem::NodeConfigOk(std::span<const Label> labels) const {
+  int64_t p = 0;
+  for (Label l : labels) {
+    if (IsPair(l)) ++p;
+    else if (l != kD) return false;
+  }
+  std::set<int64_t> colors;
+  for (Label l : labels) {
+    if (!IsPair(l)) continue;
+    int64_t a = DegreePart(l), b = ColorPart(l);
+    if (a < 1 || b < 1) return false;
+    if (mode_ == Mode::kEdgeDegreePlusOne && a > p) return false;
+    if (mode_ == Mode::kTwoDeltaMinusOne && b > 2 * int64_t{delta_} - 1) {
+      return false;
+    }
+    if (!colors.insert(b).second) return false;  // color parts distinct
+  }
+  return true;
+}
+
+bool EdgeColoringProblem::EdgeConfigOk(std::span<const Label> labels,
+                                       int rank) const {
+  if (static_cast<int>(labels.size()) != rank) return false;
+  switch (rank) {
+    case 0:
+      return true;
+    case 1:
+      return labels[0] == kD;
+    case 2: {
+      if (!IsPair(labels[0]) || !IsPair(labels[1])) return false;
+      int64_t a1 = DegreePart(labels[0]), b1 = ColorPart(labels[0]);
+      int64_t a2 = DegreePart(labels[1]), b2 = ColorPart(labels[1]);
+      if (b1 != b2) return false;
+      if (mode_ == Mode::kEdgeDegreePlusOne) return a1 + a2 >= b1 + 1;
+      return true;  // 2Delta-1 bound enforced at the nodes
+    }
+    default:
+      return false;
+  }
+}
+
+std::string EdgeColoringProblem::LabelToString(Label l) const {
+  if (l == kD) return "D";
+  if (l == kUnsetLabel) return "<unset>";
+  return "(" + std::to_string(DegreePart(l)) + "," +
+         std::to_string(ColorPart(l)) + ")";
+}
+
+std::vector<int64_t> EdgeColoringProblem::UsedColorsAt(
+    const Graph& g, int v, const HalfEdgeLabeling& h) const {
+  std::vector<int64_t> used;
+  for (int e : g.IncidentEdges(v)) {
+    Label l = h.Get(e, v);
+    if (l != kUnsetLabel && IsPair(l)) used.push_back(ColorPart(l));
+  }
+  return used;
+}
+
+void EdgeColoringProblem::SequentialAssignEdge(const Graph& g, int e,
+                                               HalfEdgeLabeling& h) const {
+  auto [v1, v2] = g.Endpoints(e);
+  std::vector<int64_t> used1 = UsedColorsAt(g, v1, h);
+  std::vector<int64_t> used2 = UsedColorsAt(g, v2, h);
+  std::vector<int64_t> forbidden = used1;
+  forbidden.insert(forbidden.end(), used2.begin(), used2.end());
+  std::sort(forbidden.begin(), forbidden.end());
+  int64_t c = 1;
+  for (int64_t f : forbidden) {
+    if (f == c) ++c;
+    else if (f > c) break;
+  }
+  // Lemma 16: c <= |used1| + |used2| + 1, so with a_i = |used_i| + 1 the
+  // edge constraint a1 + a2 >= c + 1 holds automatically.
+  int64_t a1 = static_cast<int64_t>(used1.size()) + 1;
+  int64_t a2 = static_cast<int64_t>(used2.size()) + 1;
+  if (mode_ == Mode::kTwoDeltaMinusOne) {
+    a1 = 1;
+    a2 = 1;  // degree parts unused; bound b <= 2Delta-1 holds since
+             // |used1|+|used2| <= 2Delta-2.
+  }
+  h.Set(e, v1, Pack(a1, c));
+  h.Set(e, v2, Pack(a2, c));
+}
+
+std::vector<int64_t> EdgeColoringProblem::ExtractColors(
+    const Graph& g, const HalfEdgeLabeling& h) {
+  std::vector<int64_t> colors(g.NumEdges(), 0);
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    Label l = h.GetSlot(e, 0);
+    if (l != kUnsetLabel && IsPair(l)) colors[e] = ColorPart(l);
+  }
+  return colors;
+}
+
+bool EdgeColoringProblem::IsProperEdgeColoring(
+    const Graph& g, const std::vector<int64_t>& colors) const {
+  for (int v = 0; v < g.NumNodes(); ++v) {
+    std::set<int64_t> seen;
+    for (int e : g.IncidentEdges(v)) {
+      if (!seen.insert(colors[e]).second) return false;
+    }
+  }
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    if (colors[e] < 1) return false;
+    int64_t bound = (mode_ == Mode::kEdgeDegreePlusOne)
+                        ? g.EdgeDegree(e) + 1
+                        : 2 * int64_t{delta_} - 1;
+    if (colors[e] > bound) return false;
+  }
+  return true;
+}
+
+}  // namespace treelocal

@@ -1,0 +1,56 @@
+#ifndef TREELOCAL_PROBLEMS_LIST_COLORING_H_
+#define TREELOCAL_PROBLEMS_LIST_COLORING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/problems/problem.h"
+#include "src/support/rng.h"
+
+namespace treelocal {
+
+// (deg+1)-list coloring: every node v comes with an input list of at least
+// deg(v)+1 allowed colors and must output a color from its list, properly.
+// This is the canonical example of a class-P1 problem with nontrivial node
+// *input* — exactly the shape the paper's node-list variant Pi* formalizes —
+// and Theorem 12 applies to it unchanged (the footnote-9 "list version"
+// closure of P1).
+class ListColoringProblem : public NodeProblem {
+ public:
+  // lists[v] must contain at least deg(v)+1 distinct colors (>= 1).
+  explicit ListColoringProblem(std::vector<std::vector<int64_t>> lists)
+      : lists_(std::move(lists)) {}
+
+  std::string Name() const override { return "(deg+1)-list-coloring"; }
+
+  // Without node identity only structural checks are possible: all labels
+  // equal, positive.
+  bool NodeConfigOk(std::span<const Label> labels) const override;
+
+  // Node-aware check: the common color must come from lists_[v].
+  bool NodeConfigOkAt(const Graph& g, int v,
+                      std::span<const Label> labels) const override;
+
+  bool EdgeConfigOk(std::span<const Label> labels, int rank) const override;
+
+  // Greedy: first list color unused by already-colored neighbors. Always
+  // succeeds when |list(v)| >= deg(v)+1.
+  void SequentialAssign(const Graph& g, int v,
+                        HalfEdgeLabeling& h) const override;
+
+  const std::vector<int64_t>& ListOf(int v) const { return lists_[v]; }
+
+  // Generates valid random lists: each node gets deg(v)+1+slack distinct
+  // colors from a palette of size palette.
+  static std::vector<std::vector<int64_t>> RandomLists(const Graph& g,
+                                                       int slack,
+                                                       int64_t palette,
+                                                       uint64_t seed);
+
+ private:
+  std::vector<std::vector<int64_t>> lists_;
+};
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_PROBLEMS_LIST_COLORING_H_

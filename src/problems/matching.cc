@@ -1,0 +1,105 @@
+#include "src/problems/matching.h"
+
+namespace treelocal {
+
+bool MatchingProblem::NodeConfigOk(std::span<const Label> labels) const {
+  int num_m = 0;
+  for (Label l : labels) {
+    if (l == kM) {
+      ++num_m;
+    } else if (l != kP && l != kO && l != kD) {
+      return false;
+    }
+  }
+  if (num_m > 1) return false;
+  if (num_m == 1) return true;  // one M, rest already checked in {P,O,D}
+  // No M: P would be an untruthful "I am matched" claim.
+  for (Label l : labels) {
+    if (l == kP) return false;
+  }
+  return true;
+}
+
+bool MatchingProblem::EdgeConfigOk(std::span<const Label> labels,
+                                   int rank) const {
+  if (static_cast<int>(labels.size()) != rank) return false;
+  switch (rank) {
+    case 0:
+      return true;
+    case 1:
+      return labels[0] == kD;
+    case 2: {
+      Label a = labels[0], b = labels[1];
+      if (a > b) std::swap(a, b);
+      return (a == kM && b == kM) || (a == kP && b == kP) ||
+             (a == kP && b == kO);
+    }
+    default:
+      return false;
+  }
+}
+
+std::string MatchingProblem::LabelToString(Label l) const {
+  switch (l) {
+    case kM:
+      return "M";
+    case kP:
+      return "P";
+    case kO:
+      return "O";
+    case kD:
+      return "D";
+    default:
+      return Problem::LabelToString(l);
+  }
+}
+
+bool MatchingProblem::EndpointMatched(const Graph& g, int v,
+                                      const HalfEdgeLabeling& h) {
+  for (int e : g.IncidentEdges(v)) {
+    if (h.Get(e, v) == kM) return true;
+  }
+  return false;
+}
+
+void MatchingProblem::SequentialAssignEdge(const Graph& g, int e,
+                                           HalfEdgeLabeling& h) const {
+  auto [v1, v2] = g.Endpoints(e);
+  bool m1 = EndpointMatched(g, v1, h);
+  bool m2 = EndpointMatched(g, v2, h);
+  if (!m1 && !m2) {
+    h.Set(e, v1, kM);
+    h.Set(e, v2, kM);
+  } else {
+    h.Set(e, v1, m1 ? kP : kO);
+    h.Set(e, v2, m2 ? kP : kO);
+  }
+}
+
+std::vector<char> MatchingProblem::ExtractMatching(const Graph& g,
+                                                   const HalfEdgeLabeling& h) {
+  std::vector<char> matched(g.NumEdges(), 0);
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    matched[e] = h.GetSlot(e, 0) == kM && h.GetSlot(e, 1) == kM;
+  }
+  return matched;
+}
+
+bool MatchingProblem::IsMaximalMatching(const Graph& g,
+                                        const std::vector<char>& matched) {
+  std::vector<char> node_matched(g.NumNodes(), 0);
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    if (!matched[e]) continue;
+    auto [u, v] = g.Endpoints(e);
+    if (node_matched[u] || node_matched[v]) return false;  // not a matching
+    node_matched[u] = 1;
+    node_matched[v] = 1;
+  }
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    auto [u, v] = g.Endpoints(e);
+    if (!node_matched[u] && !node_matched[v]) return false;  // not maximal
+  }
+  return true;
+}
+
+}  // namespace treelocal

@@ -1,0 +1,51 @@
+#ifndef TREELOCAL_PROBLEMS_MIS_H_
+#define TREELOCAL_PROBLEMS_MIS_H_
+
+#include <vector>
+
+#include "src/problems/problem.h"
+
+namespace treelocal {
+
+// Maximal independent set in node-edge-checkable form.
+//
+// Sigma = {M, P, U}: a node in the MIS labels all its half-edges M; a node
+// outside the MIS labels at least one half-edge P (a pointer certifying an
+// MIS neighbor across that edge) and the rest U.
+//   N^i: all-M, or (no M, >= 1 P).
+//   E^2: {M,U}, {M,P}, {U,U}  (both-M forbidden = independence; a P must
+//        face an M = the pointer is truthful; {O,O}-style uncovered pairs
+//        are allowed at the edge level — maximality is enforced by the node
+//        constraint requiring a P somewhere).
+//   E^1: {M}, {U}  (dangling pointers are disallowed so that the edge-list
+//        variant Pi^x stays completable; see DESIGN.md).
+//   E^0: {}.
+class MisProblem : public NodeProblem {
+ public:
+  static constexpr Label kM = 0;
+  static constexpr Label kP = 1;
+  static constexpr Label kU = 2;
+
+  std::string Name() const override { return "MIS"; }
+  bool NodeConfigOk(std::span<const Label> labels) const override;
+  bool EdgeConfigOk(std::span<const Label> labels, int rank) const override;
+  std::string LabelToString(Label l) const override;
+
+  // Greedy: v joins the MIS iff no already-labeled neighbor is in it.
+  void SequentialAssign(const Graph& g, int v,
+                        HalfEdgeLabeling& h) const override;
+
+  // Membership vector from a (complete or partial) labeling: true iff some
+  // half-edge of v is labeled M.
+  static std::vector<char> ExtractSet(const Graph& g,
+                                      const HalfEdgeLabeling& h);
+
+  // Independent + maximal check against the raw combinatorial definition
+  // (test oracle, independent of the label encoding).
+  static bool IsMaximalIndependentSet(const Graph& g,
+                                      const std::vector<char>& in_set);
+};
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_PROBLEMS_MIS_H_

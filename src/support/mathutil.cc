@@ -1,0 +1,80 @@
+#include "src/support/mathutil.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace treelocal {
+
+bool IsPrime(int64_t x) {
+  if (x < 2) return false;
+  if (x < 4) return true;
+  if (x % 2 == 0) return false;
+  for (int64_t d = 3; d * d <= x; d += 2) {
+    if (x % d == 0) return false;
+  }
+  return true;
+}
+
+int64_t NextPrimeAtLeast(int64_t x) {
+  if (x <= 2) return 2;
+  if (x % 2 == 0) ++x;
+  while (!IsPrime(x)) x += 2;
+  return x;
+}
+
+int LogStar(double x) {
+  int count = 0;
+  while (x > 1.0) {
+    x = std::log2(x);
+    ++count;
+    assert(count < 64);
+  }
+  return count;
+}
+
+int CeilLog2(int64_t x) {
+  if (x <= 1) return 0;
+  int bits = 0;
+  int64_t v = x - 1;
+  while (v > 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+int CeilLogBase(int64_t x, int64_t base) {
+  assert(base >= 2);
+  if (x <= 1) return 0;
+  int count = 0;
+  int64_t power = 1;
+  while (power < x) {
+    // Saturating multiply.
+    if (power > std::numeric_limits<int64_t>::max() / base) {
+      return count + 1;
+    }
+    power *= base;
+    ++count;
+  }
+  return count;
+}
+
+double LogBase(double x, double base) {
+  assert(base > 1.0 && x > 0.0);
+  return std::log(x) / std::log(base);
+}
+
+int64_t IPow(int64_t base, int exponent) {
+  assert(exponent >= 0);
+  int64_t result = 1;
+  for (int i = 0; i < exponent; ++i) {
+    if (base != 0 && result > std::numeric_limits<int64_t>::max() / base) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    result *= base;
+  }
+  return result;
+}
+
+}  // namespace treelocal

@@ -1,0 +1,52 @@
+#include "src/support/rng.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace treelocal {
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = ~uint64_t{0} - (~uint64_t{0} % bound);
+  uint64_t x;
+  do {
+    x = NextU64();
+  } while (x >= limit);
+  return x % bound;
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+std::vector<int64_t> DistinctIds(int n, uint64_t seed, int64_t space) {
+  assert(space >= n);
+  Rng rng(seed);
+  std::unordered_set<int64_t> seen;
+  std::vector<int64_t> ids;
+  ids.reserve(n);
+  while (static_cast<int>(ids.size()) < n) {
+    int64_t candidate = rng.NextInRange(1, space);
+    if (seen.insert(candidate).second) ids.push_back(candidate);
+  }
+  return ids;
+}
+
+std::vector<int64_t> DefaultIds(int n, uint64_t seed) {
+  int64_t nn = std::max<int64_t>(n, 2);
+  int64_t space = nn;
+  // n^3 with saturation against overflow.
+  for (int i = 0; i < 2; ++i) {
+    if (space > (int64_t{1} << 40)) break;
+    space *= nn;
+  }
+  return DistinctIds(n, seed, space);
+}
+
+}  // namespace treelocal

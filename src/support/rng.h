@@ -1,0 +1,59 @@
+#ifndef TREELOCAL_SUPPORT_RNG_H_
+#define TREELOCAL_SUPPORT_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace treelocal {
+
+// Deterministic 64-bit PRNG (SplitMix64). Used everywhere instead of
+// std::mt19937 so that every workload, ID assignment, and fuzz test is
+// reproducible across platforms and standard-library versions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform value in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform value in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Fair coin with probability p of true.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextBelow(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Returns `n` distinct IDs drawn deterministically from {1, ..., space}.
+// Used to model the LOCAL model's {1..n^c} identifier space.
+std::vector<int64_t> DistinctIds(int n, uint64_t seed, int64_t space);
+
+// Convenience: IDs from a space of size ~n^3 (c = 3).
+std::vector<int64_t> DefaultIds(int n, uint64_t seed);
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_SUPPORT_RNG_H_

@@ -1,0 +1,70 @@
+#include "src/support/table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace treelocal {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Num(int64_t v) { return std::to_string(v); }
+std::string Table::Num(int v) { return std::to_string(v); }
+
+void Table::Print(const std::string& title) const {
+  std::vector<size_t> width(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::cout << "\n== " << title << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::cout << "  ";
+      std::cout.width(static_cast<std::streamsize>(width[c]));
+      std::cout << row[c];
+    }
+    std::cout << "\n";
+  };
+  print_row(columns_);
+  std::string rule;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    rule += "  " + std::string(width[c], '-');
+  }
+  std::cout << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+void Table::WriteCsv(const std::string& path) const {
+  std::string full = path;
+  if (full.size() < 4 || full.substr(full.size() - 4) != ".csv") full += ".csv";
+  std::ofstream out(full);
+  if (!out) return;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ",";
+      out << row[c];
+    }
+    out << "\n";
+  };
+  write_row(columns_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+}  // namespace treelocal

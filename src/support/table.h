@@ -1,0 +1,36 @@
+#ifndef TREELOCAL_SUPPORT_TABLE_H_
+#define TREELOCAL_SUPPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace treelocal {
+
+// Minimal aligned-table printer used by the benchmark binaries to emit the
+// per-experiment series the paper's claims are checked against. Also emits
+// CSV for downstream plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision, integers exactly.
+  static std::string Num(double v, int precision = 2);
+  static std::string Num(int64_t v);
+  static std::string Num(int v);
+
+  // Renders the table with aligned columns to stdout.
+  void Print(const std::string& title) const;
+
+  // Writes the table as CSV to the given path (appends ".csv" if absent).
+  void WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace treelocal
+
+#endif  // TREELOCAL_SUPPORT_TABLE_H_

@@ -1,0 +1,205 @@
+// Tests for the truly local base algorithms "A" (Linial + color-class
+// sweep): correctness on whole graphs and on semi-graphs, and the shape of
+// the round count: O(f(Delta) + log* n) with f(Delta) = O~(Delta^2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algos/base_algorithms.h"
+#include "src/core/baseline.h"
+#include "src/graph/generators.h"
+#include "src/graph/semigraph.h"
+#include "src/problems/coloring.h"
+#include "src/problems/edge_coloring.h"
+#include "src/problems/matching.h"
+#include "src/problems/mis.h"
+#include "src/support/mathutil.h"
+#include "src/support/rng.h"
+
+namespace treelocal {
+namespace {
+
+int64_t IdSpace(int n) { return static_cast<int64_t>(n) * n * n; }
+
+TEST(BaselineTest, MisOnRandomTree) {
+  Graph g = UniformRandomTree(400, 1);
+  auto ids = DefaultIds(400, 2);
+  MisProblem mis;
+  auto result = RunNodeBaseline(mis, g, ids, IdSpace(400));
+  EXPECT_TRUE(result.valid) << result.why;
+  EXPECT_TRUE(MisProblem::IsMaximalIndependentSet(
+      g, MisProblem::ExtractSet(g, result.labeling)));
+  EXPECT_GT(result.rounds_total, 0);
+}
+
+TEST(BaselineTest, MisOnGrid) {
+  Graph g = Grid(15, 15);
+  auto ids = DefaultIds(g.NumNodes(), 3);
+  MisProblem mis;
+  auto result = RunNodeBaseline(mis, g, ids, IdSpace(g.NumNodes()));
+  EXPECT_TRUE(result.valid) << result.why;
+}
+
+TEST(BaselineTest, ColoringOnRandomTree) {
+  Graph g = UniformRandomTree(400, 4);
+  auto ids = DefaultIds(400, 5);
+  ColoringProblem problem(ColoringProblem::Mode::kDegPlusOne, g.MaxDegree());
+  auto result = RunNodeBaseline(problem, g, ids, IdSpace(400));
+  EXPECT_TRUE(result.valid) << result.why;
+  EXPECT_TRUE(problem.IsProperlyColored(
+      g, ColoringProblem::ExtractColors(g, result.labeling)));
+}
+
+TEST(BaselineTest, MatchingOnRandomTree) {
+  Graph g = UniformRandomTree(300, 6);
+  auto ids = DefaultIds(300, 7);
+  MatchingProblem mm;
+  auto result = RunEdgeBaseline(mm, g, ids, IdSpace(300));
+  EXPECT_TRUE(result.valid) << result.why;
+  EXPECT_TRUE(MatchingProblem::IsMaximalMatching(
+      g, MatchingProblem::ExtractMatching(g, result.labeling)));
+}
+
+TEST(BaselineTest, EdgeColoringOnTriangulatedGrid) {
+  Graph g = TriangulatedGrid(8, 8);
+  auto ids = DefaultIds(g.NumNodes(), 8);
+  EdgeColoringProblem problem(EdgeColoringProblem::Mode::kEdgeDegreePlusOne,
+                              g.MaxDegree());
+  auto result = RunEdgeBaseline(problem, g, ids, IdSpace(g.NumNodes()));
+  EXPECT_TRUE(result.valid) << result.why;
+  auto colors = EdgeColoringProblem::ExtractColors(g, result.labeling);
+  EXPECT_TRUE(problem.IsProperEdgeColoring(g, colors));
+}
+
+TEST(BaselineTest, RoundsGrowWithDelta) {
+  // The whole reason the transformation exists: the base algorithm's cost
+  // is driven by Delta. A star (Delta = n-1) must cost far more rounds than
+  // a bounded-degree tree of the same size.
+  const int n = 2000;
+  auto ids = DefaultIds(n, 9);
+  MisProblem mis;
+  auto star = RunNodeBaseline(mis, Star(n), ids, IdSpace(n));
+  auto bounded =
+      RunNodeBaseline(mis, BoundedDegreeRandomTree(n, 3, 1), ids, IdSpace(n));
+  EXPECT_TRUE(star.valid);
+  EXPECT_TRUE(bounded.valid);
+  EXPECT_GT(star.rounds_total, 3 * bounded.rounds_total);
+}
+
+TEST(BaselineTest, RoundShapeQuadraticInDelta) {
+  // f(Delta) = num sweep classes = O(Delta^2 log^2 Delta).
+  for (int delta : {3, 6, 12}) {
+    Graph g = BoundedDegreeRandomTree(2000, delta, 11);
+    int d = g.MaxDegree();
+    auto ids = DefaultIds(2000, 12);
+    MisProblem mis;
+    auto result = RunNodeBaseline(mis, g, ids, IdSpace(2000));
+    EXPECT_TRUE(result.valid);
+    double fbound = 64.0 * d * d * (std::log2(d) + 2) * (std::log2(d) + 2);
+    EXPECT_LE(result.stats.num_classes, fbound);
+    EXPECT_LE(result.stats.linial_rounds, LogStar(IdSpace(2000)) + 6);
+  }
+}
+
+TEST(SemiGraphBaseTest, NodeBaseOnNodeInducedSemigraph) {
+  // Run A on T_C for a random C and check validity *on the semi-graph*.
+  Graph g = UniformRandomTree(300, 13);
+  Rng rng(14);
+  std::vector<char> mask(g.NumNodes(), 0);
+  for (int v = 0; v < g.NumNodes(); ++v) mask[v] = rng.NextBool(0.6);
+  SemiGraph tc = SemiGraph::NodeInduced(g, mask);
+
+  MisProblem mis;
+  HalfEdgeLabeling h(g);
+  auto stats = RunNodeBase(mis, tc, DefaultIds(300, 15), IdSpace(300), h);
+  std::string why;
+  EXPECT_TRUE(mis.ValidateSemiGraph(tc, h, &why)) << why;
+  EXPECT_GE(stats.rounds, 0);
+  // Only C-side half-edges may be labeled.
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    for (int slot = 0; slot < 2; ++slot) {
+      if (!tc.ContainsEdge(e) || !tc.HalfPresent(e, slot)) {
+        EXPECT_FALSE(h.IsSet(e, slot));
+      } else {
+        EXPECT_TRUE(h.IsSet(e, slot));
+      }
+    }
+  }
+}
+
+TEST(SemiGraphBaseTest, EdgeBaseOnEdgeInducedSemigraph) {
+  Graph g = ForestUnion(200, 2, 16);
+  Rng rng(17);
+  std::vector<char> mask(g.NumEdges(), 0);
+  for (int e = 0; e < g.NumEdges(); ++e) mask[e] = rng.NextBool(0.7);
+  SemiGraph ge = SemiGraph::EdgeInduced(g, mask);
+
+  MatchingProblem mm;
+  HalfEdgeLabeling h(g);
+  auto stats = RunEdgeBase(mm, ge, DefaultIds(200, 18), IdSpace(200), h);
+  std::string why;
+  EXPECT_TRUE(mm.ValidateSemiGraph(ge, h, &why)) << why;
+  EXPECT_GE(stats.rounds, 0);
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_EQ(h.IsSet(e, 0), static_cast<bool>(mask[e]));
+    EXPECT_EQ(h.IsSet(e, 1), static_cast<bool>(mask[e]));
+  }
+}
+
+TEST(SemiGraphBaseTest, UnderlyingDegreeDrivesCost) {
+  // A semi-graph whose underlying graph has low degree must be cheap even
+  // if the host graph has huge degree: this is the crux of Lemma 10's use.
+  Graph g = Star(500);
+  // C = leaves only: underlying graph of T_C has no edges at all.
+  std::vector<char> mask(g.NumNodes(), 1);
+  mask[0] = 0;
+  SemiGraph tc = SemiGraph::NodeInduced(g, mask);
+  MisProblem mis;
+  HalfEdgeLabeling h(g);
+  auto stats = RunNodeBase(mis, tc, DefaultIds(500, 19), IdSpace(500), h);
+  EXPECT_EQ(stats.underlying_max_degree, 0);
+  EXPECT_LE(stats.rounds, 3);
+  std::string why;
+  EXPECT_TRUE(mis.ValidateSemiGraph(tc, h, &why)) << why;
+}
+
+TEST(SemiGraphBaseTest, EmptySemigraph) {
+  Graph g = Path(10);
+  std::vector<char> mask(g.NumNodes(), 0);
+  SemiGraph tc = SemiGraph::NodeInduced(g, mask);
+  MisProblem mis;
+  HalfEdgeLabeling h(g);
+  auto stats = RunNodeBase(mis, tc, DefaultIds(10, 20), IdSpace(10), h);
+  EXPECT_EQ(stats.rounds, 0);
+  EXPECT_EQ(h.NumAssigned(), 0);
+}
+
+class BaselineFamilyTest : public ::testing::TestWithParam<TreeFamily> {};
+
+TEST_P(BaselineFamilyTest, AllFourProblemsOnFamily) {
+  Graph g = MakeTree(GetParam(), 200, 21);
+  int n = g.NumNodes();
+  auto ids = DefaultIds(n, 22);
+
+  MisProblem mis;
+  EXPECT_TRUE(RunNodeBaseline(mis, g, ids, IdSpace(n)).valid);
+
+  ColoringProblem col(ColoringProblem::Mode::kDeltaPlusOne, g.MaxDegree());
+  EXPECT_TRUE(RunNodeBaseline(col, g, ids, IdSpace(n)).valid);
+
+  MatchingProblem mm;
+  EXPECT_TRUE(RunEdgeBaseline(mm, g, ids, IdSpace(n)).valid);
+
+  EdgeColoringProblem ec(EdgeColoringProblem::Mode::kEdgeDegreePlusOne,
+                         g.MaxDegree());
+  EXPECT_TRUE(RunEdgeBaseline(ec, g, ids, IdSpace(n)).valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, BaselineFamilyTest,
+                         ::testing::ValuesIn(AllTreeFamilies()),
+                         [](const auto& info) {
+                           return TreeFamilyName(info.param);
+                         });
+
+}  // namespace
+}  // namespace treelocal

@@ -1,0 +1,141 @@
+// Scope of the transformation: the paper's classes P1/P2 are exactly the
+// problems solvable by a 1-hop sequential greedy that extends any correct
+// partial solution. This file demonstrates the *boundary*: sinkless
+// orientation — one of only two problems with known tight nontrivial bounds
+// (Theta(log n) on trees, [GS17, CKP19]) — is locally checkable but NOT in
+// P2, because a 1-hop edge greedy can be forced into a dead end. Hence the
+// transformation (correctly) does not apply to it, consistent with its
+// omega(log* n) lower bound exceeding the guarantees of Theorems 12/15 for
+// problems with f-style upper bounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/graph/generators.h"
+#include "src/graph/labeling.h"
+#include "src/problems/matching.h"
+
+namespace treelocal {
+namespace {
+
+// Sinkless orientation in half-edge form: each edge is oriented by labeling
+// its two half-edges {kOut on the tail, kIn on the head}; every node of
+// degree >= 3 must have at least one kOut.
+constexpr Label kOut = 0;
+constexpr Label kIn = 1;
+
+bool EdgeOk(Label a, Label b) {
+  return (a == kOut && b == kIn) || (a == kIn && b == kOut);
+}
+
+bool NodeOk(const Graph& g, int v, const HalfEdgeLabeling& h) {
+  if (g.Degree(v) < 3) return true;
+  for (int e : g.IncidentEdges(v)) {
+    if (h.Get(e, v) == kOut) return true;
+  }
+  return false;
+}
+
+bool Validate(const Graph& g, const HalfEdgeLabeling& h) {
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    if (!EdgeOk(h.GetSlot(e, 0), h.GetSlot(e, 1))) return false;
+  }
+  for (int v = 0; v < g.NumNodes(); ++v) {
+    if (!NodeOk(g, v, h)) return false;
+  }
+  return true;
+}
+
+TEST(ClassBoundaryTest, SinklessOrientationSolvableGlobally) {
+  // Sanity: a global solution exists on any tree with all leaves oriented
+  // inward... orient every edge toward an arbitrary root: then every
+  // non-root internal node has its parent edge outgoing; pick the root as a
+  // leaf so no degree->=3 node is a sink.
+  Graph g = Spider(3, 2);  // center degree 3, legs of length 2
+  HalfEdgeLabeling h(g);
+  // Root at a leaf: node index of some leaf = last node; orient all edges
+  // toward it via BFS parent pointers.
+  int root = g.NumNodes() - 1;
+  std::vector<int> parent(g.NumNodes(), -1);
+  std::vector<int> stack = {root};
+  std::vector<char> seen(g.NumNodes(), 0);
+  seen[root] = 1;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    for (int u : g.Neighbors(v)) {
+      if (!seen[u]) {
+        seen[u] = 1;
+        parent[u] = v;
+        stack.push_back(u);
+      }
+    }
+  }
+  for (int v = 0; v < g.NumNodes(); ++v) {
+    if (parent[v] < 0) continue;
+    int e = g.EdgeBetween(v, parent[v]);
+    h.Set(e, v, kOut);
+    h.Set(e, parent[v], kIn);
+  }
+  EXPECT_TRUE(Validate(g, h));
+}
+
+TEST(ClassBoundaryTest, OneHopGreedyHasDeadEnds) {
+  // The P2 membership test fails: there is a correct partial solution and a
+  // processing order under which NO labeling of the next edge can ever be
+  // completed — a 1-hop greedy cannot even tell. Witness: K_{1,3} core
+  // inside a spider; orient all of a degree-3 node's edges inward
+  // (edge-by-edge each step looks locally fine since the node still has
+  // unoriented edges), then the last edge's orientation choice "inward"
+  // creates a sink that no future assignment can repair.
+  Graph g = Spider(3, 1);  // center 0 with leaves 1, 2, 3
+  HalfEdgeLabeling h(g);
+  // Adversarial order: orient edges (0,1) and (0,2) inward to 0's leaves —
+  // each step is consistent with *some* completion at the time.
+  int e1 = g.EdgeBetween(0, 1);
+  int e2 = g.EdgeBetween(0, 2);
+  int e3 = g.EdgeBetween(0, 3);
+  h.Set(e1, 0, kIn);
+  h.Set(e1, 1, kOut);
+  EXPECT_TRUE(EdgeOk(h.GetSlot(e1, 0), h.GetSlot(e1, 1)));
+  h.Set(e2, 0, kIn);
+  h.Set(e2, 2, kOut);
+  // Still completable: e3 outgoing from 0 would save it...
+  {
+    HalfEdgeLabeling saved = h;
+    saved.Set(e3, 0, kOut);
+    saved.Set(e3, 3, kIn);
+    EXPECT_TRUE(Validate(g, saved));
+  }
+  // ...but a 1-hop greedy at e3 cannot know node 0's global situation if
+  // the adversary instead presents an isomorphic 1-hop view in which kIn is
+  // the required choice: orienting e3 inward creates an unfixable sink.
+  h.Set(e3, 0, kIn);
+  h.Set(e3, 3, kOut);
+  EXPECT_FALSE(Validate(g, h));
+  // No relabeling of *future* items exists (all items are labeled): the
+  // greedy's mistake is permanent. Contrast with Lemmas 16/17, where any
+  // correct partial solution extends. This is why sinkless orientation has
+  // an Omega(log n) lower bound on trees while P1/P2 problems with
+  // O(f(Delta) + log* n) algorithms transform to O(f(g(n)) + log* n).
+}
+
+TEST(ClassBoundaryTest, P2ProblemsNeverDeadEndOnSameInstance) {
+  // Control experiment: on the same instance, a genuine P2 problem
+  // (maximal matching, Lemma 17 greedy) survives *every* processing order —
+  // the extension property the transformation's correctness rests on.
+  Graph g = Spider(3, 1);
+  MatchingProblem mm;
+  std::vector<int> order = {0, 1, 2};
+  std::sort(order.begin(), order.end());
+  do {
+    HalfEdgeLabeling h(g);
+    mm.CompleteEdges(g, order, h);
+    std::string why;
+    EXPECT_TRUE(mm.ValidateGraph(g, h, &why))
+        << why << " order " << order[0] << order[1] << order[2];
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+}  // namespace
+}  // namespace treelocal

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "src/algos/cole_vishkin.h"
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/support/mathutil.h"
+#include "src/support/rng.h"
+
+namespace treelocal {
+namespace {
+
+// Parent array for a tree rooted at `root` (BFS orientation).
+std::vector<int> RootAt(const Graph& tree, int root) {
+  std::vector<int> parent(tree.NumNodes(), -1);
+  std::vector<int> order = {root};
+  std::vector<char> seen(tree.NumNodes(), 0);
+  seen[root] = 1;
+  for (size_t i = 0; i < order.size(); ++i) {
+    int v = order[i];
+    for (int u : tree.Neighbors(v)) {
+      if (!seen[u]) {
+        seen[u] = 1;
+        parent[u] = v;
+        order.push_back(u);
+      }
+    }
+  }
+  return parent;
+}
+
+void ExpectProper3Coloring(const Graph& g, const std::vector<int>& colors) {
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    auto [u, v] = g.Endpoints(e);
+    EXPECT_NE(colors[u], colors[v]) << "edge " << u << "-" << v;
+  }
+  for (int c : colors) {
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, 2);
+  }
+}
+
+TEST(ColeVishkinTest, PathIsProperly3Colored) {
+  Graph g = Path(100);
+  auto ids = DefaultIds(100, 1);
+  auto result = ColeVishkin3Color(g, ids, RootAt(g, 0), 100LL * 100 * 100);
+  ExpectProper3Coloring(g, result.colors);
+}
+
+TEST(ColeVishkinTest, StarIsProperly3Colored) {
+  Graph g = Star(50);
+  auto ids = DefaultIds(50, 2);
+  auto result = ColeVishkin3Color(g, ids, RootAt(g, 0), 50LL * 50 * 50);
+  ExpectProper3Coloring(g, result.colors);
+}
+
+TEST(ColeVishkinTest, SingletonColored) {
+  Graph g = Path(1);
+  auto result = ColeVishkin3Color(g, {5}, {-1}, 100);
+  ASSERT_EQ(result.colors.size(), 1u);
+  EXPECT_GE(result.colors[0], 0);
+  EXPECT_LE(result.colors[0], 2);
+}
+
+TEST(ColeVishkinTest, EmptyForest) {
+  Graph g = Graph::FromEdges(0, {});
+  auto result = ColeVishkin3Color(g, {}, {}, 100);
+  EXPECT_TRUE(result.colors.empty());
+}
+
+TEST(ColeVishkinTest, MultiComponentForest) {
+  // Two disjoint paths.
+  Graph g = Graph::FromEdges(8, {{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6},
+                                 {6, 7}});
+  auto ids = DefaultIds(8, 3);
+  std::vector<int> parent = {-1, 0, 1, 2, -1, 4, 5, 6};
+  auto result = ColeVishkin3Color(g, ids, parent, 8LL * 8 * 8);
+  ExpectProper3Coloring(g, result.colors);
+}
+
+TEST(ColeVishkinTest, RoundsAreLogStarPlusConstant) {
+  // Round count = K + 7 where K = ColeVishkinIterations(id_space); K is the
+  // log* term. Check against a generous constant on a big tree.
+  const int n = 1 << 14;
+  Graph g = UniformRandomTree(n, 5);
+  auto ids = DefaultIds(n, 6);
+  int64_t space = static_cast<int64_t>(n) * n * n;
+  auto result = ColeVishkin3Color(g, ids, RootAt(g, 0), space);
+  ExpectProper3Coloring(g, result.colors);
+  EXPECT_LE(result.rounds, ColeVishkinIterations(space) + 8);
+  EXPECT_LE(result.rounds, LogStar(static_cast<double>(space)) + 16);
+}
+
+TEST(ColeVishkinTest, IterationScheduleIsTiny) {
+  // The whole point of log*: even astronomically large ID spaces converge
+  // in a handful of iterations.
+  EXPECT_LE(ColeVishkinIterations(int64_t{1} << 62), 6);
+  EXPECT_GE(ColeVishkinIterations(int64_t{1} << 62), 3);
+  EXPECT_LE(ColeVishkinIterations(1000), 5);
+}
+
+class CvFamilyTest : public ::testing::TestWithParam<TreeFamily> {};
+
+TEST_P(CvFamilyTest, ProperOnAllFamilies) {
+  for (int n : {32, 257}) {
+    Graph g = MakeTree(GetParam(), n, 99);
+    auto ids = DefaultIds(g.NumNodes(), 100);
+    int64_t space =
+        static_cast<int64_t>(g.NumNodes()) * g.NumNodes() * g.NumNodes();
+    auto result = ColeVishkin3Color(g, ids, RootAt(g, 0), space);
+    ExpectProper3Coloring(g, result.colors);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, CvFamilyTest,
+                         ::testing::ValuesIn(AllTreeFamilies()),
+                         [](const auto& info) {
+                           return TreeFamilyName(info.param);
+                         });
+
+}  // namespace
+}  // namespace treelocal

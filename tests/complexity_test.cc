@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/complexity.h"
+
+namespace treelocal {
+namespace {
+
+TEST(ComplexityTest, SolveGLinearF) {
+  // f(x) = x: g * log2(g) = log2(n). For n = 2^16: g*log2 g = 16 -> g ~ 7.3.
+  double g = SolveG(std::pow(2.0, 16.0), LinearF());
+  EXPECT_NEAR(g * std::log2(g), 16.0, 1e-6);
+  EXPECT_GT(g, 6.0);
+  EXPECT_LT(g, 9.0);
+}
+
+TEST(ComplexityTest, SolveGQuadraticF) {
+  // f(x) = x^2: g^2 * log2(g) = log2(n).
+  double n = std::pow(2.0, 20.0);
+  double g = SolveG(n, QuadraticF());
+  EXPECT_NEAR(g * g * std::log2(g), 20.0, 1e-6);
+}
+
+TEST(ComplexityTest, SolveGSatisfiesDefiningEquation) {
+  // g^{f(g)} = n  <=>  f(g) * log2(g) = log2(n), across several f.
+  for (double n : {1e3, 1e6, 1e9, 1e12}) {
+    for (const auto& f : {LinearF(), QuadraticF(), PolylogF(12.0)}) {
+      double g = SolveG(n, f);
+      EXPECT_NEAR(f(g) * std::log2(g), std::log2(n), 1e-5) << "n=" << n;
+    }
+  }
+}
+
+TEST(ComplexityTest, SolveGPolylog12MatchesTheorem3Exponent) {
+  // With f = log^12, log2(g) = log2(n)^{1/13} and f(g(n)) = log2(n)^{12/13}
+  // — the Theorem 3 bound.
+  double n = std::pow(2.0, 30.0);
+  double g = SolveG(n, PolylogF(12.0));
+  double expected_log_g = std::pow(std::log2(n), 1.0 / 13.0);
+  EXPECT_NEAR(std::log2(g), expected_log_g, 0.01);
+  double fg = PolylogF(12.0)(g);
+  EXPECT_NEAR(fg, std::pow(std::log2(n), 12.0 / 13.0), 0.5);
+}
+
+TEST(ComplexityTest, SolveGMonotoneInN) {
+  double prev = 0;
+  for (double n = 16; n < 1e15; n *= 16) {
+    double g = SolveG(n, LinearF());
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(ComplexityTest, SolveGEdgeCases) {
+  EXPECT_EQ(SolveG(1.0, LinearF()), 1.0);
+  EXPECT_EQ(SolveG(0.5, LinearF()), 1.0);
+  EXPECT_GT(SolveG(2.0, LinearF()), 1.0);
+}
+
+TEST(ComplexityTest, ChooseKRespectsMinimum) {
+  EXPECT_GE(ChooseK(4, QuadraticF()), 2);
+  EXPECT_GE(ChooseK(1, QuadraticF()), 2);
+  EXPECT_GE(ChooseK(1 << 20, QuadraticF(), 5), 5);
+}
+
+TEST(ComplexityTest, ChooseKGrowsWithN) {
+  EXPECT_LE(ChooseK(1 << 10, LinearF()), ChooseK(1 << 20, LinearF()));
+  EXPECT_LT(ChooseK(1 << 10, LinearF()), ChooseK(int64_t{1} << 40, LinearF()));
+}
+
+TEST(ComplexityTest, BarrierCurveShape) {
+  // log n / log log n is increasing and sublogarithmic... it IS o(log n).
+  double n = 1 << 20;
+  EXPECT_LT(BarrierLogOverLogLog(n), std::log2(n));
+  EXPECT_GT(BarrierLogOverLogLog(n), BarrierLogOverLogLog(1 << 10));
+}
+
+TEST(ComplexityTest, SeparationIsAsymptotic) {
+  // The paper's separation: log^{12/13} n = o(log n / log log n). With
+  // L = log2(n), the ratio of the two curves is log2(L) / L^{1/13}, which
+  // turns decreasing at L = e^13 ~ 4.4e5 and then goes to 0. Work directly
+  // in log-space to dodge double overflow.
+  auto ratio = [](double big_l) {
+    return std::log2(big_l) / std::pow(big_l, 1.0 / 13.0);
+  };
+  double prev = 1e18;
+  for (double big_l = 1e6; big_l <= 1e30; big_l *= 100) {
+    double r = ratio(big_l);
+    EXPECT_LT(r, prev) << "L=" << big_l;
+    prev = r;
+  }
+  EXPECT_LT(ratio(1e60), 0.01);  // the ratio really vanishes
+}
+
+TEST(ComplexityTest, SeparationCrossoverInLogSpace) {
+  // With L = log2(n), the edge-coloring bound beats the barrier iff
+  // L > (log2 L)^13 — a condition met only for astronomically large n,
+  // exactly why the paper's separation is an asymptotic statement.
+  auto beats = [](double big_l) {
+    return big_l > std::pow(std::log2(big_l), 13.0);
+  };
+  EXPECT_FALSE(beats(1e3));
+  EXPECT_FALSE(beats(1e9));
+  EXPECT_FALSE(beats(1e18));
+  EXPECT_TRUE(beats(1e30));
+}
+
+TEST(ComplexityTest, ModeledBaseRounds) {
+  auto f = PolylogF(12.0);
+  double n = 1 << 20;
+  double k = SolveG(n, f);
+  double rounds = ModeledBaseRounds(f, k, n);
+  EXPECT_NEAR(rounds, std::pow(std::log2(n), 12.0 / 13.0) + 4, 1.5);
+}
+
+}  // namespace
+}  // namespace treelocal

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "src/core/rake_compress.h"
+#include "src/graph/dot_export.h"
+#include "src/graph/generators.h"
+#include "src/problems/matching.h"
+#include "src/support/rng.h"
+
+namespace treelocal {
+namespace {
+
+TEST(DotExportTest, PlainGraphStructure) {
+  Graph g = Path(3);
+  auto ids = DefaultIds(3, 1);
+  std::string dot = ToDot(g, ids, nullptr);
+  EXPECT_NE(dot.find("graph \"treelocal\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2"), std::string::npos);
+  EXPECT_EQ(dot.find("n0 -- n2"), std::string::npos);
+}
+
+TEST(DotExportTest, HalfEdgeLabelsRendered) {
+  Graph g = Path(2);
+  MatchingProblem mm;
+  HalfEdgeLabeling h(g);
+  h.Set(0, 0, MatchingProblem::kM);
+  h.Set(0, 1, MatchingProblem::kM);
+  DotOptions options;
+  options.problem = &mm;
+  std::string dot = ToDot(g, DefaultIds(2, 2), &h, options);
+  EXPECT_NE(dot.find("taillabel=\"M\""), std::string::npos);
+  EXPECT_NE(dot.find("headlabel=\"M\""), std::string::npos);
+}
+
+TEST(DotExportTest, UnsetLabelsRenderAsQuestionMark) {
+  Graph g = Path(2);
+  HalfEdgeLabeling h(g);
+  std::string dot = ToDot(g, DefaultIds(2, 3), &h);
+  EXPECT_NE(dot.find("taillabel=\"?\""), std::string::npos);
+}
+
+TEST(DotExportTest, NodeClassesColored) {
+  Graph g = UniformRandomTree(20, 4);
+  auto ids = DefaultIds(20, 5);
+  auto rc = RunRakeCompress(g, ids, 2);
+  DotOptions options;
+  options.node_class.resize(20);
+  for (int v = 0; v < 20; ++v) options.node_class[v] = rc.Layer(v);
+  std::string dot = ToDot(g, ids, nullptr, options);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}
+
+TEST(DotExportTest, NegativeEdgeClassDashed) {
+  Graph g = Path(3);
+  DotOptions options;
+  options.edge_class = {-1, 0};
+  std::string dot = ToDot(g, DefaultIds(3, 6), nullptr, options);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treelocal

@@ -1,0 +1,176 @@
+// Tiny and degenerate instances through the full pipelines: n = 1, 2, 3,
+// stars of size 2-4, paths, and boundary parameter values. These are the
+// inputs where off-by-one errors in rank/degree bookkeeping hide.
+#include <gtest/gtest.h>
+
+#include "src/core/baseline.h"
+#include "src/core/transform_edge.h"
+#include "src/core/transform_node.h"
+#include "src/graph/generators.h"
+#include "src/problems/coloring.h"
+#include "src/problems/edge_coloring.h"
+#include "src/problems/matching.h"
+#include "src/problems/mis.h"
+#include "src/support/rng.h"
+
+namespace treelocal {
+namespace {
+
+int64_t IdSpace(int n) {
+  int64_t nn = std::max(n, 2);
+  return nn * nn * nn;
+}
+
+class TinyTreeTest : public ::testing::TestWithParam<int> {
+ protected:
+  Graph MakeTiny(int which) {
+    switch (which) {
+      case 0:
+        return Path(1);
+      case 1:
+        return Path(2);
+      case 2:
+        return Path(3);
+      case 3:
+        return Path(4);
+      case 4:
+        return Star(3);
+      case 5:
+        return Star(4);
+      case 6:
+        return Star(5);
+      case 7:
+        return Spider(3, 2);
+      default:
+        return CompleteBinaryTree(7);
+    }
+  }
+};
+
+TEST_P(TinyTreeTest, Thm12MisOnTinyTrees) {
+  Graph tree = MakeTiny(GetParam());
+  int n = tree.NumNodes();
+  auto ids = DefaultIds(n, 1);
+  MisProblem mis;
+  auto result = SolveNodeProblemOnTree(mis, tree, ids, IdSpace(n), 2);
+  EXPECT_TRUE(result.valid) << result.why;
+  EXPECT_TRUE(MisProblem::IsMaximalIndependentSet(
+      tree, MisProblem::ExtractSet(tree, result.labeling)));
+}
+
+TEST_P(TinyTreeTest, Thm12ColoringOnTinyTrees) {
+  Graph tree = MakeTiny(GetParam());
+  int n = tree.NumNodes();
+  auto ids = DefaultIds(n, 2);
+  ColoringProblem problem(ColoringProblem::Mode::kDegPlusOne, 0);
+  auto result = SolveNodeProblemOnTree(problem, tree, ids, IdSpace(n), 2);
+  EXPECT_TRUE(result.valid) << result.why;
+}
+
+TEST_P(TinyTreeTest, Thm15MatchingOnTinyTrees) {
+  Graph tree = MakeTiny(GetParam());
+  int n = tree.NumNodes();
+  if (tree.NumEdges() == 0) return;  // no edges: nothing to match
+  auto ids = DefaultIds(n, 3);
+  MatchingProblem mm;
+  auto result =
+      SolveEdgeProblemBoundedArboricity(mm, tree, ids, IdSpace(n), 1, 5);
+  EXPECT_TRUE(result.valid) << result.why;
+}
+
+TEST_P(TinyTreeTest, Thm15EdgeColoringOnTinyTrees) {
+  Graph tree = MakeTiny(GetParam());
+  int n = tree.NumNodes();
+  if (tree.NumEdges() == 0) return;
+  auto ids = DefaultIds(n, 4);
+  EdgeColoringProblem ec(EdgeColoringProblem::Mode::kEdgeDegreePlusOne,
+                         tree.MaxDegree());
+  auto result =
+      SolveEdgeProblemBoundedArboricity(ec, tree, ids, IdSpace(n), 1, 5);
+  EXPECT_TRUE(result.valid) << result.why;
+}
+
+TEST_P(TinyTreeTest, BaselinesOnTinyTrees) {
+  Graph tree = MakeTiny(GetParam());
+  int n = tree.NumNodes();
+  auto ids = DefaultIds(n, 5);
+  MisProblem mis;
+  EXPECT_TRUE(RunNodeBaseline(mis, tree, ids, IdSpace(n)).valid);
+  if (tree.NumEdges() > 0) {
+    MatchingProblem mm;
+    EXPECT_TRUE(RunEdgeBaseline(mm, tree, ids, IdSpace(n)).valid);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TinyShapes, TinyTreeTest, ::testing::Range(0, 9));
+
+TEST(EdgeCaseTest, SingletonMis) {
+  Graph g = Path(1);
+  MisProblem mis;
+  auto result = SolveNodeProblemOnTree(mis, g, {1}, 8, 2);
+  EXPECT_TRUE(result.valid);
+  auto set = MisProblem::ExtractSet(g, result.labeling);
+  EXPECT_TRUE(set[0]);  // isolated node is in the MIS
+}
+
+TEST(EdgeCaseTest, TwoNodeMatchingMatchesTheEdge) {
+  Graph g = Path(2);
+  MatchingProblem mm;
+  auto result =
+      SolveEdgeProblemBoundedArboricity(mm, g, {1, 2}, 8, 1, 5);
+  ASSERT_TRUE(result.valid);
+  auto matched = MatchingProblem::ExtractMatching(g, result.labeling);
+  EXPECT_TRUE(matched[0]);  // the only maximal matching
+}
+
+TEST(EdgeCaseTest, KEqualsTwoOnHugePath) {
+  // Smallest legal k on the deepest possible rake structure.
+  Graph g = Path(5000);
+  auto ids = DefaultIds(5000, 6);
+  MisProblem mis;
+  auto result = SolveNodeProblemOnTree(mis, g, ids, IdSpace(5000), 2);
+  EXPECT_TRUE(result.valid) << result.why;
+}
+
+TEST(EdgeCaseTest, KLargerThanN) {
+  // k > n: the whole tree compresses immediately; pipeline degenerates to
+  // the baseline and must still be correct.
+  Graph g = UniformRandomTree(64, 7);
+  auto ids = DefaultIds(64, 8);
+  MisProblem mis;
+  auto result = SolveNodeProblemOnTree(mis, g, ids, IdSpace(64), 1000);
+  EXPECT_TRUE(result.valid) << result.why;
+  EXPECT_EQ(result.num_raked, 0);
+}
+
+TEST(EdgeCaseTest, Thm15OnDisconnectedForest) {
+  // Two disjoint paths (the LOCAL model runs on each component obliviously).
+  Graph g = Graph::FromEdges(8, {{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6},
+                                 {6, 7}});
+  auto ids = DefaultIds(8, 9);
+  MatchingProblem mm;
+  auto result = SolveEdgeProblemBoundedArboricity(mm, g, ids, IdSpace(8), 1, 5);
+  EXPECT_TRUE(result.valid) << result.why;
+}
+
+TEST(EdgeCaseTest, Thm12OnDisconnectedForest) {
+  Graph g = Graph::FromEdges(7, {{0, 1}, {1, 2}, {3, 4}, {5, 6}});
+  auto ids = DefaultIds(7, 10);
+  MisProblem mis;
+  auto result = SolveNodeProblemOnTree(mis, g, ids, IdSpace(7), 2);
+  EXPECT_TRUE(result.valid) << result.why;
+}
+
+TEST(EdgeCaseTest, DeltaEqualsOneMatching) {
+  // Perfect matching graph: disjoint edges only.
+  Graph g = Graph::FromEdges(6, {{0, 1}, {2, 3}, {4, 5}});
+  auto ids = DefaultIds(6, 11);
+  MatchingProblem mm;
+  auto result = SolveEdgeProblemBoundedArboricity(mm, g, ids, IdSpace(6), 1, 5);
+  ASSERT_TRUE(result.valid);
+  auto matched = MatchingProblem::ExtractMatching(g, result.labeling);
+  EXPECT_TRUE(matched[0] && matched[1] && matched[2]);
+}
+
+}  // namespace
+}  // namespace treelocal

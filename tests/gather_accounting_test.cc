@@ -1,0 +1,141 @@
+// Validates the round accounting used by the pipelines' gather phases
+// (DESIGN.md substitution #2): the pipelines charge 2*ecc(leader)+1 rounds
+// per component instead of literally flooding the whole component through
+// the engine. Here we run a *real* knowledge-flooding algorithm on the
+// engine (knowledge as a 64-bit membership mask, so components up to 64
+// nodes) and check that the leader first holds the full component exactly
+// at round ecc(leader) — information travels one hop per round, so gather
+// plus broadcast-back costs 2*ecc+1 as charged.
+#include <gtest/gtest.h>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/graph/subgraph.h"
+#include "src/local/network.h"
+#include "src/support/rng.h"
+
+namespace treelocal {
+namespace {
+
+// Every node floods its knowledge bitmask each round until a globally known
+// deadline (2n rounds — all nodes know n). The leader records the first
+// round at which it knows the whole component.
+class GatherEcho : public local::Algorithm {
+ public:
+  GatherEcho(int n, int leader, uint64_t target)
+      : knowledge_(n, 0), leader_(leader), target_(target), deadline_(2 * n) {}
+
+  void OnRound(local::NodeContext& ctx) override {
+    const int v = ctx.node();
+    if (ctx.round() == 0) {
+      knowledge_[v] = uint64_t{1} << v;
+    } else {
+      for (int p = 0; p < ctx.degree(); ++p) {
+        const local::Message& msg = ctx.Recv(p);
+        if (msg.present()) knowledge_[v] |= static_cast<uint64_t>(msg.word0);
+      }
+    }
+    if (v == leader_ && gather_rounds_ < 0 && knowledge_[v] == target_) {
+      gather_rounds_ = ctx.round();
+    }
+    if (ctx.round() >= deadline_) {
+      ctx.Halt();
+      return;
+    }
+    ctx.Broadcast(local::Message::Of(static_cast<int64_t>(knowledge_[v])));
+  }
+
+  int gather_rounds() const { return gather_rounds_; }
+
+ private:
+  std::vector<uint64_t> knowledge_;
+  int leader_;
+  uint64_t target_;
+  int deadline_;
+  int gather_rounds_ = -1;
+};
+
+TEST(GatherAccountingTest, LeaderLearnsComponentInEccentricityRounds) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 8 + static_cast<int>(rng.NextBelow(56));  // <= 64 nodes
+    Graph tree = UniformRandomTree(n, trial * 31 + 5);
+    auto ids = DefaultIds(n, trial + 1);
+
+    std::vector<char> mask(n, 1);
+    auto leaders = MaskedComponentLeaders(tree, mask, ids);
+    ASSERT_EQ(leaders.size(), 1u);
+    int leader = leaders[0].leader;
+    int ecc = leaders[0].eccentricity;
+
+    uint64_t target = n == 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+    GatherEcho alg(n, leader, target);
+    local::Network net(tree, ids);
+    net.Run(alg, 4 * n + 8);
+
+    EXPECT_EQ(alg.gather_rounds(), ecc) << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(GatherAccountingTest, PathLeaderAtEndNeedsLengthRounds) {
+  const int n = 12;
+  Graph path = Path(n);
+  // Force leader = node 0 (eccentricity n-1) via a maximal key.
+  std::vector<int64_t> key(n);
+  for (int v = 0; v < n; ++v) key[v] = n - v;
+  std::vector<char> mask(n, 1);
+  auto leaders = MaskedComponentLeaders(path, mask, key);
+  ASSERT_EQ(leaders[0].leader, 0);
+  EXPECT_EQ(leaders[0].eccentricity, n - 1);
+
+  GatherEcho alg(n, 0, (uint64_t{1} << n) - 1);
+  local::Network net(path, DefaultIds(n, 3));
+  net.Run(alg, 8 * n);
+  EXPECT_EQ(alg.gather_rounds(), n - 1);
+}
+
+TEST(GatherAccountingTest, StarLeaderCenterNeedsOneRound) {
+  const int n = 20;
+  Graph star = Star(n);
+  std::vector<int64_t> key(n, 0);
+  key[0] = 100;  // center is leader, ecc = 1
+  std::vector<char> mask(n, 1);
+  auto leaders = MaskedComponentLeaders(star, mask, key);
+  ASSERT_EQ(leaders[0].leader, 0);
+  EXPECT_EQ(leaders[0].eccentricity, 1);
+
+  GatherEcho alg(n, 0, (uint64_t{1} << n) - 1);
+  local::Network net(star, DefaultIds(n, 4));
+  net.Run(alg, 50);
+  EXPECT_EQ(alg.gather_rounds(), 1);
+}
+
+TEST(GatherAccountingTest, MaskedComponentAccountingOnRakedParts) {
+  // The real pipeline scenario: gather happens inside masked components.
+  // For each component of a random mask over a tree, check the leader's
+  // flood time within the component equals the accounted eccentricity.
+  Graph tree = UniformRandomTree(48, 9);
+  const int n = tree.NumNodes();
+  Rng rng(10);
+  std::vector<char> mask(n, 0);
+  for (int v = 0; v < n; ++v) mask[v] = rng.NextBool(0.7);
+  auto ids = DefaultIds(n, 11);
+  auto leaders = MaskedComponentLeaders(tree, mask, ids);
+
+  for (const auto& comp : leaders) {
+    // Flood inside the component only: build the induced subgraph.
+    std::vector<char> node_mask(n, 0);
+    for (int v : comp.nodes) node_mask[v] = 1;
+    Subgraph sub = InduceByNodes(tree, node_mask);
+    const int sn = sub.graph.NumNodes();
+    if (sn > 64) continue;
+    uint64_t target = sn == 64 ? ~uint64_t{0} : (uint64_t{1} << sn) - 1;
+    GatherEcho alg(sn, sub.host_to_node[comp.leader], target);
+    local::Network net(sub.graph, RestrictToSubgraph(sub, ids));
+    net.Run(alg, 4 * sn + 8);
+    EXPECT_EQ(alg.gather_rounds(), comp.eccentricity);
+  }
+}
+
+}  // namespace
+}  // namespace treelocal

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+
+namespace treelocal {
+namespace {
+
+TEST(GeneratorsTest, PathShape) {
+  Graph g = Path(10);
+  EXPECT_TRUE(IsTree(g));
+  EXPECT_EQ(g.MaxDegree(), 2);
+  int leaves = 0;
+  for (int v = 0; v < 10; ++v) {
+    if (g.Degree(v) == 1) ++leaves;
+  }
+  EXPECT_EQ(leaves, 2);
+}
+
+TEST(GeneratorsTest, PathTiny) {
+  EXPECT_EQ(Path(1).NumNodes(), 1);
+  EXPECT_EQ(Path(1).NumEdges(), 0);
+  EXPECT_EQ(Path(2).NumEdges(), 1);
+}
+
+TEST(GeneratorsTest, StarShape) {
+  Graph g = Star(12);
+  EXPECT_TRUE(IsTree(g));
+  EXPECT_EQ(g.MaxDegree(), 11);
+  EXPECT_EQ(g.Degree(0), 11);
+}
+
+TEST(GeneratorsTest, BalancedRegularTreeDegrees) {
+  Graph g = BalancedRegularTree(40, 3);
+  EXPECT_TRUE(IsTree(g));
+  EXPECT_LE(g.MaxDegree(), 3);
+  // Internal nodes (away from the boundary layer) have degree exactly 3.
+  EXPECT_EQ(g.Degree(0), 3);
+}
+
+TEST(GeneratorsTest, BalancedRegularTreeIsBalanced) {
+  // 1 + 4 + 4*3 = 17 nodes: a full 2-level Delta=4 tree.
+  Graph g = BalancedRegularTree(17, 4);
+  EXPECT_TRUE(IsTree(g));
+  auto dist = BfsDistances(g, 0);
+  for (int v = 0; v < g.NumNodes(); ++v) {
+    if (g.Degree(v) == 1) {
+      EXPECT_EQ(dist[v], 2) << "leaf " << v;
+    }
+  }
+}
+
+TEST(GeneratorsTest, UniformRandomTreeIsTree) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Graph g = UniformRandomTree(200, seed);
+    EXPECT_TRUE(IsTree(g)) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorsTest, UniformRandomTreeDeterministic) {
+  Graph a = UniformRandomTree(100, 7);
+  Graph b = UniformRandomTree(100, 7);
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (int e = 0; e < a.NumEdges(); ++e) {
+    EXPECT_EQ(a.Endpoints(e), b.Endpoints(e));
+  }
+}
+
+TEST(GeneratorsTest, RandomRecursiveTreeIsTree) {
+  Graph g = RandomRecursiveTree(500, 11);
+  EXPECT_TRUE(IsTree(g));
+}
+
+TEST(GeneratorsTest, BoundedDegreeRandomTreeRespectsBound) {
+  for (int bound : {2, 3, 5, 8}) {
+    Graph g = BoundedDegreeRandomTree(300, bound, 23);
+    EXPECT_TRUE(IsTree(g));
+    EXPECT_LE(g.MaxDegree(), bound) << "bound " << bound;
+  }
+}
+
+TEST(GeneratorsTest, CaterpillarShape) {
+  Graph g = Caterpillar(5, 3);
+  EXPECT_EQ(g.NumNodes(), 20);
+  EXPECT_TRUE(IsTree(g));
+}
+
+TEST(GeneratorsTest, SpiderShape) {
+  Graph g = Spider(4, 6);
+  EXPECT_EQ(g.NumNodes(), 25);
+  EXPECT_TRUE(IsTree(g));
+  EXPECT_EQ(g.Degree(0), 4);
+}
+
+TEST(GeneratorsTest, CompleteBinaryTreeShape) {
+  Graph g = CompleteBinaryTree(15);
+  EXPECT_TRUE(IsTree(g));
+  EXPECT_LE(g.MaxDegree(), 3);
+  auto dist = BfsDistances(g, 0);
+  for (int v = 0; v < 15; ++v) EXPECT_LE(dist[v], 3);
+}
+
+TEST(GeneratorsTest, GridShape) {
+  Graph g = Grid(4, 5);
+  EXPECT_EQ(g.NumNodes(), 20);
+  EXPECT_EQ(g.NumEdges(), 4 * 4 + 3 * 5);  // horizontal + vertical
+  EXPECT_LE(g.MaxDegree(), 4);
+  EXPECT_TRUE(GreedyForestCover(g, 2));  // arboricity <= 2
+}
+
+TEST(GeneratorsTest, TriangulatedGridShape) {
+  Graph g = TriangulatedGrid(4, 4);
+  EXPECT_EQ(g.NumNodes(), 16);
+  EXPECT_TRUE(GreedyForestCover(g, 3));  // planar => arboricity <= 3
+}
+
+TEST(GeneratorsTest, ForestUnionArboricityBound) {
+  for (int a : {1, 2, 3, 5}) {
+    Graph g = ForestUnion(150, a, 31);
+    EXPECT_LE(g.NumEdges(), a * (g.NumNodes() - 1));
+    // Certificate: every union edge appears in one of the `a` trees, and
+    // each tree is a forest — so the arboricity is at most a.
+    auto parts = ForestUnionParts(150, a, 31);
+    ASSERT_EQ(parts.size(), static_cast<size_t>(a));
+    std::set<std::pair<int, int>> covered;
+    for (const Graph& part : parts) {
+      EXPECT_TRUE(IsForest(part));
+      for (int e = 0; e < part.NumEdges(); ++e) {
+        covered.insert(part.Endpoints(e));
+      }
+    }
+    for (int e = 0; e < g.NumEdges(); ++e) {
+      EXPECT_TRUE(covered.count(g.Endpoints(e))) << "a=" << a;
+    }
+  }
+}
+
+TEST(GeneratorsTest, ForestUnionOneIsTree) {
+  Graph g = ForestUnion(100, 1, 5);
+  EXPECT_TRUE(IsTree(g));
+}
+
+class TreeFamilyTest : public ::testing::TestWithParam<TreeFamily> {};
+
+TEST_P(TreeFamilyTest, ProducesAConnectedTree) {
+  for (int n : {2, 17, 64, 301}) {
+    Graph g = MakeTree(GetParam(), n, 42);
+    EXPECT_TRUE(IsTree(g))
+        << TreeFamilyName(GetParam()) << " n=" << n;
+    EXPECT_GE(g.NumNodes(), n / 2);  // families may round the size
+  }
+}
+
+TEST_P(TreeFamilyTest, HasAName) {
+  EXPECT_NE(TreeFamilyName(GetParam()), "?");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, TreeFamilyTest,
+                         ::testing::ValuesIn(AllTreeFamilies()),
+                         [](const auto& info) {
+                           return TreeFamilyName(info.param);
+                         });
+
+}  // namespace
+}  // namespace treelocal

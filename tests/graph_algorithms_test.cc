@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/support/rng.h"
+
+namespace treelocal {
+namespace {
+
+TEST(BfsTest, PathDistances) {
+  Graph g = Path(6);
+  auto dist = BfsDistances(g, 0);
+  for (int v = 0; v < 6; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsTest, DisconnectedUnreachable) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(ComponentsTest, SingleComponent) {
+  int num = 0;
+  auto comp = ConnectedComponents(Path(10), &num);
+  EXPECT_EQ(num, 1);
+  for (int c : comp) EXPECT_EQ(c, 0);
+}
+
+TEST(ComponentsTest, MultipleComponents) {
+  Graph g = Graph::FromEdges(6, {{0, 1}, {2, 3}});
+  int num = 0;
+  auto comp = ConnectedComponents(g, &num);
+  EXPECT_EQ(num, 4);  // {0,1}, {2,3}, {4}, {5}
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(ComponentsTest, MaskedComponentsSplitByMask) {
+  // Path 0-1-2-3-4 with node 2 masked out: two components.
+  Graph g = Path(5);
+  std::vector<char> mask = {1, 1, 0, 1, 1};
+  int num = 0;
+  auto comp = MaskedComponents(g, mask, &num);
+  EXPECT_EQ(num, 2);
+  EXPECT_EQ(comp[2], -1);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(ComponentsTest, MaskedTreeComponentDiameters) {
+  Graph g = Path(10);
+  std::vector<char> mask(10, 1);
+  mask[4] = 0;
+  int num = 0;
+  auto comp = MaskedComponents(g, mask, &num);
+  auto diam = MaskedTreeComponentDiameters(g, mask, comp, num);
+  ASSERT_EQ(num, 2);
+  EXPECT_EQ(diam[comp[0]], 3);  // nodes 0..3
+  EXPECT_EQ(diam[comp[9]], 4);  // nodes 5..9
+}
+
+TEST(ForestTest, TreeIsForest) {
+  EXPECT_TRUE(IsForest(Path(10)));
+  EXPECT_TRUE(IsTree(Path(10)));
+}
+
+TEST(ForestTest, CycleIsNotForest) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_FALSE(IsForest(g));
+  EXPECT_FALSE(IsTree(g));
+}
+
+TEST(ForestTest, DisconnectedForestIsNotTree) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  EXPECT_TRUE(IsForest(g));
+  EXPECT_FALSE(IsTree(g));
+}
+
+TEST(ForestCoverTest, TreeNeedsOneForest) {
+  EXPECT_TRUE(GreedyForestCover(UniformRandomTree(100, 3), 1));
+}
+
+TEST(ForestCoverTest, TriangleNeedsTwo) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_FALSE(GreedyForestCover(g, 1));
+  EXPECT_TRUE(GreedyForestCover(g, 2));
+}
+
+TEST(LeadersTest, LeaderIsMaxKeyNode) {
+  Graph g = Path(5);
+  std::vector<char> mask(5, 1);
+  std::vector<int64_t> key = {10, 50, 20, 40, 30};
+  auto leaders = MaskedComponentLeaders(g, mask, key);
+  ASSERT_EQ(leaders.size(), 1u);
+  EXPECT_EQ(leaders[0].leader, 1);
+  EXPECT_EQ(leaders[0].eccentricity, 3);  // node 1 -> node 4
+  EXPECT_EQ(leaders[0].nodes.size(), 5u);
+}
+
+TEST(LeadersTest, PerComponentLeaders) {
+  Graph g = Path(6);
+  std::vector<char> mask = {1, 1, 0, 1, 1, 1};
+  std::vector<int64_t> key = {1, 2, 3, 4, 5, 6};
+  auto leaders = MaskedComponentLeaders(g, mask, key);
+  ASSERT_EQ(leaders.size(), 2u);
+  // Components {0,1} and {3,4,5}.
+  EXPECT_EQ(leaders[0].leader, 1);
+  EXPECT_EQ(leaders[1].leader, 5);
+  EXPECT_EQ(leaders[1].eccentricity, 2);
+}
+
+TEST(LeadersTest, RandomTreeEccentricityWithinDiameter) {
+  Graph g = UniformRandomTree(300, 77);
+  std::vector<char> mask(300, 1);
+  auto ids = DefaultIds(300, 1);
+  auto leaders = MaskedComponentLeaders(g, mask, ids);
+  ASSERT_EQ(leaders.size(), 1u);
+  int num = 0;
+  auto comp = MaskedComponents(g, mask, &num);
+  auto diam = MaskedTreeComponentDiameters(g, mask, comp, num);
+  EXPECT_LE(leaders[0].eccentricity, diam[0]);
+  EXPECT_GE(2 * leaders[0].eccentricity + 1, diam[0]);
+}
+
+}  // namespace
+}  // namespace treelocal

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/graph/graph.h"
+#include "src/graph/linegraph.h"
+#include "src/graph/subgraph.h"
+#include "src/support/rng.h"
+
+namespace treelocal {
+namespace {
+
+Graph Triangle() { return Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}}); }
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g = Graph::FromEdges(0, {});
+  EXPECT_EQ(g.NumNodes(), 0);
+  EXPECT_EQ(g.NumEdges(), 0);
+  EXPECT_EQ(g.MaxDegree(), 0);
+}
+
+TEST(GraphTest, SingleNode) {
+  Graph g = Graph::FromEdges(1, {});
+  EXPECT_EQ(g.NumNodes(), 1);
+  EXPECT_EQ(g.Degree(0), 0);
+}
+
+TEST(GraphTest, TriangleBasics) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.NumNodes(), 3);
+  EXPECT_EQ(g.NumEdges(), 3);
+  EXPECT_EQ(g.MaxDegree(), 2);
+  for (int v = 0; v < 3; ++v) EXPECT_EQ(g.Degree(v), 2);
+}
+
+TEST(GraphTest, EndpointsNormalized) {
+  Graph g = Graph::FromEdges(4, {{3, 1}, {2, 0}});
+  for (int e = 0; e < 2; ++e) {
+    auto [u, v] = g.Endpoints(e);
+    EXPECT_LT(u, v);
+  }
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  Graph g = Graph::FromEdges(5, {{0, 4}, {0, 2}, {0, 1}, {0, 3}});
+  auto nbrs = g.Neighbors(0);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (size_t i = 1; i < nbrs.size(); ++i) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+}
+
+TEST(GraphTest, IncidentEdgesParallelToNeighbors) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  for (int v = 0; v < 4; ++v) {
+    auto nbrs = g.Neighbors(v);
+    auto inc = g.IncidentEdges(v);
+    ASSERT_EQ(nbrs.size(), inc.size());
+    for (size_t p = 0; p < nbrs.size(); ++p) {
+      EXPECT_EQ(g.OtherEndpoint(inc[p], v), nbrs[p]);
+    }
+  }
+}
+
+TEST(GraphTest, EdgeBetween) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_GE(g.EdgeBetween(0, 1), 0);
+  EXPECT_GE(g.EdgeBetween(1, 0), 0);
+  EXPECT_EQ(g.EdgeBetween(0, 2), -1);
+  EXPECT_EQ(g.EdgeBetween(0, 3), -1);
+  int e = g.EdgeBetween(1, 2);
+  EXPECT_EQ(g.Endpoints(e), (std::pair<int, int>{1, 2}));
+}
+
+TEST(GraphTest, PortOf) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.PortOf(0, 1), 0);
+  EXPECT_EQ(g.PortOf(0, 2), 1);
+  EXPECT_EQ(g.PortOf(0, 3), 2);
+  EXPECT_EQ(g.PortOf(1, 2), -1);
+}
+
+TEST(GraphTest, EndpointSlot) {
+  Graph g = Graph::FromEdges(2, {{0, 1}});
+  EXPECT_EQ(g.EndpointSlot(0, 0), 0);
+  EXPECT_EQ(g.EndpointSlot(0, 1), 1);
+}
+
+TEST(GraphTest, EdgeDegree) {
+  // Path 0-1-2-3: middle edge has edge-degree 2, end edges 1.
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  int middle = g.EdgeBetween(1, 2);
+  int end = g.EdgeBetween(0, 1);
+  EXPECT_EQ(g.EdgeDegree(middle), 2);
+  EXPECT_EQ(g.EdgeDegree(end), 1);
+  EXPECT_EQ(g.MaxEdgeDegree(), 2);
+}
+
+TEST(GraphTest, RejectsSelfLoop) {
+  EXPECT_THROW(Graph::FromEdges(2, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(GraphTest, RejectsDuplicateEdge) {
+  EXPECT_THROW(Graph::FromEdges(3, {{0, 1}, {1, 0}}), std::invalid_argument);
+}
+
+TEST(GraphTest, RejectsOutOfRange) {
+  EXPECT_THROW(Graph::FromEdges(2, {{0, 2}}), std::invalid_argument);
+  EXPECT_THROW(Graph::FromEdges(2, {{-1, 0}}), std::invalid_argument);
+}
+
+TEST(SubgraphTest, InduceByNodesKeepsInternalEdges) {
+  // Path 0-1-2-3; induce {1,2}: one edge.
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  Subgraph sub = InduceByNodes(g, {0, 1, 1, 0});
+  EXPECT_EQ(sub.graph.NumNodes(), 2);
+  EXPECT_EQ(sub.graph.NumEdges(), 1);
+  EXPECT_EQ(sub.node_to_host.size(), 2u);
+  EXPECT_EQ(sub.host_to_node[0], -1);
+  EXPECT_GE(sub.host_to_node[1], 0);
+  int host_edge = sub.edge_to_host[0];
+  EXPECT_EQ(g.Endpoints(host_edge), (std::pair<int, int>{1, 2}));
+}
+
+TEST(SubgraphTest, InduceByNodesRoundTrip) {
+  Graph g = Triangle();
+  Subgraph sub = InduceByNodes(g, {1, 1, 1});
+  EXPECT_EQ(sub.graph.NumNodes(), 3);
+  EXPECT_EQ(sub.graph.NumEdges(), 3);
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_EQ(sub.host_to_node[sub.node_to_host[v]], v);
+  }
+}
+
+TEST(SubgraphTest, InduceByEdges) {
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  std::vector<char> mask = {1, 0, 0, 1};
+  Subgraph sub = InduceByEdges(g, mask);
+  EXPECT_EQ(sub.graph.NumEdges(), 2);
+  EXPECT_EQ(sub.graph.NumNodes(), 4);  // endpoints 0,1,3,4
+  EXPECT_EQ(sub.host_to_node[2], -1);
+}
+
+TEST(SubgraphTest, RestrictToSubgraph) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  Subgraph sub = InduceByNodes(g, {0, 1, 1});
+  std::vector<int64_t> vals = {10, 20, 30};
+  auto restricted = RestrictToSubgraph(sub, vals);
+  ASSERT_EQ(restricted.size(), 2u);
+  EXPECT_EQ(restricted[0], 20);
+  EXPECT_EQ(restricted[1], 30);
+}
+
+TEST(LineGraphTest, PathLineGraphIsPath) {
+  // L(P4) = P3.
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  LineGraph lg = BuildLineGraph(g);
+  EXPECT_EQ(lg.graph.NumNodes(), 3);
+  EXPECT_EQ(lg.graph.NumEdges(), 2);
+  EXPECT_EQ(lg.graph.MaxDegree(), 2);
+}
+
+TEST(LineGraphTest, StarLineGraphIsComplete) {
+  // L(K_{1,4}) = K4.
+  Graph g = Graph::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  LineGraph lg = BuildLineGraph(g);
+  EXPECT_EQ(lg.graph.NumNodes(), 4);
+  EXPECT_EQ(lg.graph.NumEdges(), 6);
+}
+
+TEST(LineGraphTest, TriangleLineGraphIsTriangle) {
+  LineGraph lg = BuildLineGraph(Triangle());
+  EXPECT_EQ(lg.graph.NumNodes(), 3);
+  EXPECT_EQ(lg.graph.NumEdges(), 3);
+}
+
+TEST(LineGraphTest, DegreeMatchesEdgeDegree) {
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {1, 3}, {3, 4}, {4, 5}});
+  LineGraph lg = BuildLineGraph(g);
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_EQ(lg.graph.Degree(e), g.EdgeDegree(e));
+  }
+}
+
+TEST(LineGraphTest, IdsDistinctAndPositive) {
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {1, 3}, {3, 4}, {4, 5}});
+  auto host_ids = DefaultIds(6, 17);
+  auto ids = LineGraphIds(g, host_ids);
+  std::set<int64_t> s(ids.begin(), ids.end());
+  EXPECT_EQ(s.size(), ids.size());
+  for (int64_t id : ids) EXPECT_GE(id, 1);
+}
+
+}  // namespace
+}  // namespace treelocal

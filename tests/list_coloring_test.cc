@@ -1,0 +1,121 @@
+// (deg+1)-list coloring: a class-P1 problem with per-node input, run both
+// with the sequential greedy and through the full Theorem 12 pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/complexity.h"
+#include "src/core/transform_node.h"
+#include "src/graph/generators.h"
+#include "src/problems/list_coloring.h"
+#include "src/support/rng.h"
+
+namespace treelocal {
+namespace {
+
+int64_t IdSpace(int n) { return static_cast<int64_t>(n) * n * n; }
+
+TEST(ListColoringTest, RandomListsAreBigEnough) {
+  Graph g = UniformRandomTree(100, 1);
+  auto lists = ListColoringProblem::RandomLists(g, 0, 1000, 2);
+  for (int v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(static_cast<int>(lists[v].size()), g.Degree(v) + 1);
+    for (int64_t c : lists[v]) {
+      EXPECT_GE(c, 1);
+      EXPECT_LE(c, 1000);
+    }
+  }
+}
+
+TEST(ListColoringTest, GreedyRespectsLists) {
+  Graph g = UniformRandomTree(200, 3);
+  auto lists = ListColoringProblem::RandomLists(g, 0, 500, 4);
+  ListColoringProblem problem(lists);
+  HalfEdgeLabeling h(g);
+  std::vector<int> order(g.NumNodes());
+  for (int v = 0; v < g.NumNodes(); ++v) order[v] = v;
+  problem.CompleteNodes(g, order, h);
+  std::string why;
+  EXPECT_TRUE(problem.ValidateGraph(g, h, &why)) << why;
+  // Cross-check: each node's color really is in its list.
+  for (int v = 0; v < g.NumNodes(); ++v) {
+    if (g.Degree(v) == 0) continue;
+    Label c = h.Get(g.IncidentEdges(v)[0], v);
+    EXPECT_NE(std::find(lists[v].begin(), lists[v].end(), c),
+              lists[v].end());
+  }
+}
+
+TEST(ListColoringTest, ValidatorRejectsOffListColor) {
+  Graph g = Path(2);
+  // Lists without color 99.
+  ListColoringProblem problem({{1, 2}, {3, 4}});
+  HalfEdgeLabeling h(g);
+  h.Set(0, 0, 99);
+  h.Set(0, 1, 3);
+  EXPECT_FALSE(problem.ValidateGraph(g, h));
+  // And accepts a proper on-list assignment.
+  h.Set(0, 0, 1);
+  EXPECT_TRUE(problem.ValidateGraph(g, h));
+}
+
+TEST(ListColoringTest, ValidatorRejectsMonochromaticEdge) {
+  Graph g = Path(2);
+  ListColoringProblem problem({{5, 6}, {5, 7}});
+  HalfEdgeLabeling h(g);
+  h.Set(0, 0, 5);
+  h.Set(0, 1, 5);
+  EXPECT_FALSE(problem.ValidateGraph(g, h));
+}
+
+TEST(ListColoringTest, TightListsStillSolvable) {
+  // Adversarially tight: every node's list is exactly {1..deg+1} (shared
+  // palette — the hardest case for greedy feasibility).
+  Graph g = UniformRandomTree(300, 5);
+  std::vector<std::vector<int64_t>> lists(g.NumNodes());
+  for (int v = 0; v < g.NumNodes(); ++v) {
+    for (int64_t c = 1; c <= g.Degree(v) + 1; ++c) lists[v].push_back(c);
+  }
+  ListColoringProblem problem(lists);
+  HalfEdgeLabeling h(g);
+  std::vector<int> order(g.NumNodes());
+  for (int v = 0; v < g.NumNodes(); ++v) order[v] = v;
+  problem.CompleteNodes(g, order, h);
+  std::string why;
+  EXPECT_TRUE(problem.ValidateGraph(g, h, &why)) << why;
+}
+
+class ListColoringPipelineTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ListColoringPipelineTest, Theorem12PipelineSolvesListColoring) {
+  uint64_t seed = GetParam();
+  int n = 300 + static_cast<int>(seed % 4) * 200;
+  Graph tree = UniformRandomTree(n, seed);
+  auto ids = DefaultIds(n, seed + 1);
+  auto lists = ListColoringProblem::RandomLists(tree, /*slack=*/1, 10 * n,
+                                                seed + 2);
+  ListColoringProblem problem(std::move(lists));
+  int k = ChooseK(n, QuadraticF());
+  auto result = SolveNodeProblemOnTree(problem, tree, ids, IdSpace(n), k);
+  EXPECT_TRUE(result.valid) << result.why;
+}
+
+TEST_P(ListColoringPipelineTest, Theorem12WithTightLists) {
+  uint64_t seed = GetParam();
+  Graph tree = MakeTree(AllTreeFamilies()[seed % 8], 400, seed);
+  int n = tree.NumNodes();
+  auto ids = DefaultIds(n, seed + 3);
+  std::vector<std::vector<int64_t>> lists(n);
+  for (int v = 0; v < n; ++v) {
+    for (int64_t c = 1; c <= tree.Degree(v) + 1; ++c) lists[v].push_back(c);
+  }
+  ListColoringProblem problem(std::move(lists));
+  auto result = SolveNodeProblemOnTree(problem, tree, ids, IdSpace(n), 3);
+  EXPECT_TRUE(result.valid) << result.why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ListColoringPipelineTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{12}));
+
+}  // namespace
+}  // namespace treelocal

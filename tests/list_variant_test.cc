@@ -1,0 +1,147 @@
+// Property tests for the list variants Pi* / Pi^x (Definitions 7 and 8,
+// Lemmas 16 and 17): starting from a correct *partial* solution — labels
+// fixed on a sub-semi-graph, as arises between pipeline phases — the
+// sequential solvers must always complete it to a globally valid solution.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/graph/semigraph.h"
+#include "src/problems/coloring.h"
+#include "src/problems/edge_coloring.h"
+#include "src/problems/matching.h"
+#include "src/problems/mis.h"
+#include "src/support/rng.h"
+
+namespace treelocal {
+namespace {
+
+struct Instance {
+  Graph graph;
+  uint64_t seed;
+};
+
+// Node-problem fuzz (the Pi^x side, Theorem 12): fix a correct solution on
+// the semi-graph induced by a random node subset C (labels on C-side
+// half-edges only), then complete the R = V \ C side node by node.
+template <typename ProblemT>
+void NodeListFuzz(const ProblemT& problem, const Graph& g, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<char> in_c(g.NumNodes(), 0);
+  for (int v = 0; v < g.NumNodes(); ++v) in_c[v] = rng.NextBool(0.5);
+
+  // Phase 1 stand-in: sequentially solve on C only (C-side half-edges).
+  HalfEdgeLabeling h(g);
+  std::vector<int> c_nodes;
+  for (int v = 0; v < g.NumNodes(); ++v) {
+    if (in_c[v]) c_nodes.push_back(v);
+  }
+  rng.Shuffle(c_nodes);
+  problem.CompleteNodes(g, c_nodes, h);
+
+  // The partial solution must be valid on the semi-graph T_C.
+  SemiGraph tc = SemiGraph::NodeInduced(g, in_c);
+  std::string why;
+  ASSERT_TRUE(problem.ValidateSemiGraph(tc, h, &why)) << why;
+
+  // Phase 2: complete the rest in adversarial order.
+  std::vector<int> r_nodes;
+  for (int v = 0; v < g.NumNodes(); ++v) {
+    if (!in_c[v]) r_nodes.push_back(v);
+  }
+  rng.Shuffle(r_nodes);
+  problem.CompleteNodes(g, r_nodes, h);
+  EXPECT_TRUE(problem.ValidateGraph(g, h, &why)) << why;
+}
+
+// Edge-problem fuzz (the Pi* side, Theorem 15): fix a correct solution on a
+// random edge subset E2 (both half-edges), then complete E1 edge by edge.
+template <typename ProblemT>
+void EdgeListFuzz(const ProblemT& problem, const Graph& g, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<char> in_e2(g.NumEdges(), 0);
+  for (int e = 0; e < g.NumEdges(); ++e) in_e2[e] = rng.NextBool(0.5);
+
+  HalfEdgeLabeling h(g);
+  std::vector<int> e2_edges;
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    if (in_e2[e]) e2_edges.push_back(e);
+  }
+  rng.Shuffle(e2_edges);
+  problem.CompleteEdges(g, e2_edges, h);
+
+  SemiGraph ge2 = SemiGraph::EdgeInduced(g, in_e2);
+  std::string why;
+  ASSERT_TRUE(problem.ValidateSemiGraph(ge2, h, &why)) << why;
+
+  std::vector<int> e1_edges;
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    if (!in_e2[e]) e1_edges.push_back(e);
+  }
+  rng.Shuffle(e1_edges);
+  problem.CompleteEdges(g, e1_edges, h);
+  EXPECT_TRUE(problem.ValidateGraph(g, h, &why)) << why;
+}
+
+class ListVariantFuzz : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Graph MakeGraph(uint64_t seed) {
+    // Mix of trees and bounded-arboricity graphs.
+    switch (seed % 4) {
+      case 0:
+        return UniformRandomTree(120, seed);
+      case 1:
+        return ForestUnion(100, 3, seed);
+      case 2:
+        return Grid(8, 12);
+      default:
+        return RandomRecursiveTree(150, seed);
+    }
+  }
+};
+
+TEST_P(ListVariantFuzz, MisCompletesFromPartial) {
+  Graph g = MakeGraph(GetParam());
+  NodeListFuzz(MisProblem(), g, GetParam() * 31 + 1);
+}
+
+TEST_P(ListVariantFuzz, DegPlusOneColoringCompletesFromPartial) {
+  Graph g = MakeGraph(GetParam());
+  NodeListFuzz(ColoringProblem(ColoringProblem::Mode::kDegPlusOne, 0), g,
+               GetParam() * 31 + 2);
+}
+
+TEST_P(ListVariantFuzz, DeltaPlusOneColoringCompletesFromPartial) {
+  Graph g = MakeGraph(GetParam());
+  NodeListFuzz(ColoringProblem(ColoringProblem::Mode::kDeltaPlusOne,
+                               g.MaxDegree()),
+               g, GetParam() * 31 + 3);
+}
+
+TEST_P(ListVariantFuzz, EdgeDegreePlusOneCompletesFromPartial) {
+  Graph g = MakeGraph(GetParam());
+  EdgeListFuzz(EdgeColoringProblem(
+                   EdgeColoringProblem::Mode::kEdgeDegreePlusOne,
+                   g.MaxDegree()),
+               g, GetParam() * 31 + 4);
+}
+
+TEST_P(ListVariantFuzz, TwoDeltaMinusOneCompletesFromPartial) {
+  Graph g = MakeGraph(GetParam());
+  EdgeListFuzz(EdgeColoringProblem(
+                   EdgeColoringProblem::Mode::kTwoDeltaMinusOne,
+                   g.MaxDegree()),
+               g, GetParam() * 31 + 5);
+}
+
+TEST_P(ListVariantFuzz, MatchingCompletesFromPartial) {
+  Graph g = MakeGraph(GetParam());
+  EdgeListFuzz(MatchingProblem(), g, GetParam() * 31 + 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ListVariantFuzz,
+                         ::testing::Range(uint64_t{0}, uint64_t{24}));
+
+}  // namespace
+}  // namespace treelocal

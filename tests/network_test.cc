@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/graph/generators.h"
+#include "src/local/network.h"
+#include "src/support/rng.h"
+
+namespace treelocal {
+namespace {
+
+using local::Algorithm;
+using local::Message;
+using local::Network;
+using local::NodeContext;
+
+// Halts immediately; 1 round total.
+class HaltNow : public Algorithm {
+ public:
+  void OnRound(NodeContext& ctx) override { ctx.Halt(); }
+};
+
+// Every node broadcasts its ID, collects neighbor IDs next round, halts.
+class CollectNeighborIds : public Algorithm {
+ public:
+  explicit CollectNeighborIds(int n) : collected_(n) {}
+  void OnRound(NodeContext& ctx) override {
+    if (ctx.round() == 0) {
+      ctx.Broadcast(Message::Of(ctx.id()));
+      return;
+    }
+    for (int p = 0; p < ctx.degree(); ++p) {
+      collected_[ctx.node()].push_back(ctx.Recv(p).word0);
+    }
+    ctx.Halt();
+  }
+  std::vector<std::vector<int64_t>> collected_;
+};
+
+// Counts rounds until a token starting at node 0 reaches everyone (BFS
+// flood); each node halts one round after it first holds the token.
+class Flood : public Algorithm {
+ public:
+  explicit Flood(int n) : has_token_(n, false) {}
+  void OnRound(NodeContext& ctx) override {
+    int v = ctx.node();
+    if (!has_token_[v]) {
+      if (v == 0 && ctx.round() == 0) {
+        has_token_[v] = true;
+      } else {
+        for (int p = 0; p < ctx.degree(); ++p) {
+          if (ctx.Recv(p).present()) has_token_[v] = true;
+        }
+      }
+    }
+    if (has_token_[v]) {
+      ctx.Broadcast(Message::Of(1));
+      ctx.Halt();
+    }
+  }
+  std::vector<bool> has_token_;
+};
+
+TEST(NetworkTest, HaltNowRunsOneRound) {
+  Graph g = Path(5);
+  Network net(g, DefaultIds(5, 1));
+  HaltNow alg;
+  EXPECT_EQ(net.Run(alg, 10), 1);
+}
+
+TEST(NetworkTest, MessageDeliveryToCorrectPorts) {
+  Graph g = Star(5);
+  auto ids = DefaultIds(5, 2);
+  Network net(g, ids);
+  CollectNeighborIds alg(5);
+  EXPECT_EQ(net.Run(alg, 10), 2);
+  // Center got all leaf IDs; leaves got the center ID.
+  ASSERT_EQ(alg.collected_[0].size(), 4u);
+  std::multiset<int64_t> got(alg.collected_[0].begin(),
+                             alg.collected_[0].end());
+  std::multiset<int64_t> want(ids.begin() + 1, ids.end());
+  EXPECT_EQ(got, want);
+  for (int leaf = 1; leaf < 5; ++leaf) {
+    ASSERT_EQ(alg.collected_[leaf].size(), 1u);
+    EXPECT_EQ(alg.collected_[leaf][0], ids[0]);
+  }
+}
+
+TEST(NetworkTest, FloodTakesEccentricityRounds) {
+  // On a path rooted at an end, the token needs n-1 hops; every node halts
+  // the round it receives it, so total rounds = n.
+  const int n = 9;
+  Graph g = Path(n);
+  Network net(g, DefaultIds(n, 3));
+  Flood alg(n);
+  EXPECT_EQ(net.Run(alg, 100), n);
+}
+
+TEST(NetworkTest, MessagesCounted) {
+  Graph g = Path(3);
+  Network net(g, DefaultIds(3, 4));
+  CollectNeighborIds alg(3);
+  net.Run(alg, 10);
+  // Round 0: each of 3 nodes broadcasts on its ports: 2 + 2 = 4 directed
+  // messages total.
+  EXPECT_EQ(net.messages_delivered(), 4);
+}
+
+TEST(NetworkTest, ThrowsWhenMaxRoundsExceeded) {
+  class NeverHalt : public Algorithm {
+   public:
+    void OnRound(NodeContext&) override {}
+  };
+  Graph g = Path(3);
+  Network net(g, DefaultIds(3, 5));
+  NeverHalt alg;
+  EXPECT_THROW(net.Run(alg, 5), std::runtime_error);
+}
+
+TEST(NetworkTest, HaltedNodesFallSilent) {
+  // Node 0 halts at round 0 after broadcasting; node 1 checks that the
+  // channel is empty from round 2 on.
+  class SilenceCheck : public Algorithm {
+   public:
+    void OnRound(NodeContext& ctx) override {
+      if (ctx.node() == 0) {
+        ctx.Broadcast(Message::Of(99));
+        ctx.Halt();
+        return;
+      }
+      if (ctx.round() == 1) {
+        saw_message = ctx.Recv(0).present();
+      } else if (ctx.round() == 2) {
+        silent_after_halt = !ctx.Recv(0).present();
+        ctx.Halt();
+      }
+    }
+    bool saw_message = false;
+    bool silent_after_halt = false;
+  };
+  Graph g = Path(2);
+  Network net(g, DefaultIds(2, 6));
+  SilenceCheck alg;
+  net.Run(alg, 10);
+  EXPECT_TRUE(alg.saw_message);
+  EXPECT_TRUE(alg.silent_after_halt);
+}
+
+TEST(NetworkTest, DeterministicTranscript) {
+  Graph g = UniformRandomTree(64, 10);
+  auto ids = DefaultIds(64, 11);
+  Network net1(g, ids), net2(g, ids);
+  CollectNeighborIds a1(64), a2(64);
+  EXPECT_EQ(net1.Run(a1, 10), net2.Run(a2, 10));
+  EXPECT_EQ(a1.collected_, a2.collected_);
+  EXPECT_EQ(net1.messages_delivered(), net2.messages_delivered());
+}
+
+TEST(NetworkTest, ContextExposesModelKnowledge) {
+  class Probe : public Algorithm {
+   public:
+    void OnRound(NodeContext& ctx) override {
+      if (ctx.node() == 0) {
+        n = ctx.n();
+        delta = ctx.max_degree();
+        deg = ctx.degree();
+      }
+      ctx.Halt();
+    }
+    int n = 0, delta = 0, deg = 0;
+  };
+  Graph g = Star(7);
+  Network net(g, DefaultIds(7, 12));
+  Probe alg;
+  net.Run(alg, 5);
+  EXPECT_EQ(alg.n, 7);
+  EXPECT_EQ(alg.delta, 6);
+  EXPECT_EQ(alg.deg, 6);
+}
+
+}  // namespace
+}  // namespace treelocal

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/graph/labeling.h"
+#include "src/graph/semigraph.h"
+
+namespace treelocal {
+namespace {
+
+// Host: path 0-1-2-3.
+Graph HostPath() { return Path(4); }
+
+TEST(SemiGraphTest, NodeInducedRanks) {
+  Graph g = HostPath();
+  // C = {1, 2}: edge 0-1 rank 1, edge 1-2 rank 2, edge 2-3 rank 1.
+  SemiGraph s = SemiGraph::NodeInduced(g, {0, 1, 1, 0});
+  EXPECT_EQ(s.NumSemiNodes(), 2);
+  EXPECT_EQ(s.NumSemiEdges(), 3);
+  EXPECT_EQ(s.Rank(g.EdgeBetween(0, 1)), 1);
+  EXPECT_EQ(s.Rank(g.EdgeBetween(1, 2)), 2);
+  EXPECT_EQ(s.Rank(g.EdgeBetween(2, 3)), 1);
+}
+
+TEST(SemiGraphTest, NodeInducedHalfPresence) {
+  Graph g = HostPath();
+  SemiGraph s = SemiGraph::NodeInduced(g, {0, 1, 1, 0});
+  int e01 = g.EdgeBetween(0, 1);
+  // Only node 1's side is present on edge {0,1}.
+  EXPECT_FALSE(s.HalfPresent(e01, g.EndpointSlot(e01, 0)));
+  EXPECT_TRUE(s.HalfPresent(e01, g.EndpointSlot(e01, 1)));
+}
+
+TEST(SemiGraphTest, NodeInducedSemiDegreeEqualsHostDegree) {
+  // Every incident edge of a contained node is in the semi-graph, so
+  // semi-degree == host degree for contained nodes (the Theorem 12 setup).
+  Graph g = Star(6);
+  SemiGraph s = SemiGraph::NodeInduced(g, {1, 0, 1, 0, 1, 0});
+  EXPECT_EQ(s.SemiDegree(0), g.Degree(0));
+  EXPECT_EQ(s.SemiDegree(2), g.Degree(2));
+  EXPECT_EQ(s.SemiDegree(1), 0);  // not contained
+}
+
+TEST(SemiGraphTest, EdgeInducedAllRankTwo) {
+  Graph g = HostPath();
+  SemiGraph s = SemiGraph::EdgeInduced(g, {1, 0, 1});
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    if (s.ContainsEdge(e)) {
+      EXPECT_EQ(s.Rank(e), 2);
+    }
+  }
+  EXPECT_EQ(s.NumSemiEdges(), 2);
+}
+
+TEST(SemiGraphTest, EdgeInducedSemiDegreeCountsMaskedEdges) {
+  Graph g = HostPath();
+  // Keep only edge 1-2.
+  std::vector<char> mask(g.NumEdges(), 0);
+  mask[g.EdgeBetween(1, 2)] = 1;
+  SemiGraph s = SemiGraph::EdgeInduced(g, mask);
+  EXPECT_EQ(s.SemiDegree(1), 1);
+  EXPECT_EQ(s.SemiDegree(2), 1);
+  EXPECT_EQ(s.SemiDegree(0), 0);
+  EXPECT_TRUE(s.ContainsNode(1));
+  EXPECT_FALSE(s.ContainsNode(0));
+}
+
+TEST(SemiGraphTest, WholeContainsEverything) {
+  Graph g = UniformRandomTree(50, 9);
+  SemiGraph s = SemiGraph::Whole(g);
+  EXPECT_EQ(s.NumSemiNodes(), 50);
+  EXPECT_EQ(s.NumSemiEdges(), 49);
+  for (int v = 0; v < 50; ++v) EXPECT_EQ(s.SemiDegree(v), g.Degree(v));
+}
+
+TEST(SemiGraphTest, UnderlyingGraphOfNodeInduced) {
+  Graph g = HostPath();
+  SemiGraph s = SemiGraph::NodeInduced(g, {0, 1, 1, 0});
+  Subgraph under = s.Underlying();
+  EXPECT_EQ(under.graph.NumNodes(), 2);
+  EXPECT_EQ(under.graph.NumEdges(), 1);  // only the rank-2 edge
+}
+
+TEST(SemiGraphTest, UnderlyingDegreeBoundExample) {
+  // Lemma 10-style check: underlying degree counts only rank-2 edges.
+  Graph g = Star(5);
+  SemiGraph s = SemiGraph::NodeInduced(g, {1, 1, 0, 0, 0});
+  Subgraph under = s.Underlying();
+  EXPECT_EQ(under.graph.MaxDegree(), 1);
+  EXPECT_EQ(s.SemiDegree(0), 4);  // but the semi-degree is the host degree
+}
+
+TEST(LabelingTest, SetAndGetBySlotAndNode) {
+  Graph g = HostPath();
+  HalfEdgeLabeling h(g);
+  int e = g.EdgeBetween(1, 2);
+  EXPECT_FALSE(h.IsSetAt(e, 1));
+  h.Set(e, 1, 42);
+  EXPECT_EQ(h.Get(e, 1), 42);
+  EXPECT_FALSE(h.IsSetAt(e, 2));
+  h.Set(e, 2, 43);
+  EXPECT_EQ(h.Get(e, 2), 43);
+  EXPECT_EQ(h.GetSlot(e, g.EndpointSlot(e, 1)), 42);
+}
+
+TEST(LabelingTest, AssignedAtNode) {
+  Graph g = Star(4);
+  HalfEdgeLabeling h(g);
+  h.Set(0, 0, 7);
+  h.Set(1, 0, 8);
+  EXPECT_EQ(h.NumAssignedAtNode(0), 2);
+  auto labels = h.AssignedAtNode(0);
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(h.NumAssignedAtNode(1), 0);
+}
+
+TEST(LabelingTest, FullyAssigned) {
+  Graph g = Path(3);
+  HalfEdgeLabeling h(g);
+  EXPECT_FALSE(h.FullyAssigned());
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    h.SetSlot(e, 0, 1);
+    h.SetSlot(e, 1, 1);
+  }
+  EXPECT_TRUE(h.FullyAssigned());
+  EXPECT_EQ(h.NumAssigned(), 4);
+}
+
+}  // namespace
+}  // namespace treelocal

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/support/table.h"
+
+namespace treelocal {
+namespace {
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(int64_t{42}), "42");
+  EXPECT_EQ(Table::Num(7), "7");
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(3.14159, 0), "3");
+  EXPECT_EQ(Table::Num(-1.5, 1), "-1.5");
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "x"});
+  t.AddRow({"2", "y"});
+  std::string path = "/tmp/treelocal_table_test";
+  t.WriteCsv(path);
+  std::ifstream in(path + ".csv");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,y");
+  std::remove((path + ".csv").c_str());
+}
+
+TEST(TableTest, PrintDoesNotCrashOnEmpty) {
+  Table t({"col"});
+  t.Print("empty table");  // no rows
+}
+
+TEST(TableTest, PrintAlignsColumns) {
+  // Smoke: wide cells must not throw and must contain both values.
+  Table t({"n", "value"});
+  t.AddRow({"1", "short"});
+  t.AddRow({"100000", "a-much-longer-cell"});
+  testing::internal::CaptureStdout();
+  t.Print("alignment");
+  std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("short"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-cell"), std::string::npos);
+  EXPECT_NE(out.find("alignment"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treelocal
