@@ -39,6 +39,7 @@ void RunArboricitySweep() {
   }
   table.Print("E9a: arboricity sweep, (edge-degree+1)-edge coloring");
   table.WriteCsv("bench_arboricity_sweep");
+  table.WriteJson("bench_arboricity_sweep");
 }
 
 void RunPlanar() {
@@ -73,6 +74,7 @@ void RunPlanar() {
   }
   table.Print("E9b: planar-style graphs (constant arboricity)");
   table.WriteCsv("bench_arboricity_planar");
+  table.WriteJson("bench_arboricity_planar");
 }
 
 void RunMatchingArboricity() {
@@ -92,6 +94,7 @@ void RunMatchingArboricity() {
   }
   table.Print("E9c: maximal matching across arboricity (additive O(a) term)");
   table.WriteCsv("bench_arboricity_matching");
+  table.WriteJson("bench_arboricity_matching");
 }
 
 }  // namespace

@@ -96,6 +96,7 @@ void Run() {
   }
   table.Print("E4-E5: Algorithm 3 decomposition vs Lemmas 13/14 bounds");
   table.WriteCsv("bench_decomposition");
+  table.WriteJson("bench_decomposition");
 }
 
 }  // namespace

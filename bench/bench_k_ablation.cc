@@ -41,6 +41,7 @@ void RunThm12Ablation() {
             << ")\n";
   table.Print("E10a: k-ablation, Theorem 12 pipeline (MIS, uniform tree)");
   table.WriteCsv("bench_k_ablation_thm12");
+  table.WriteJson("bench_k_ablation_thm12");
 }
 
 void RunThm15Ablation() {
@@ -67,6 +68,7 @@ void RunThm15Ablation() {
   table.Print(
       "E10b: k-ablation, Theorem 15 pipeline (matching, uniform tree)");
   table.WriteCsv("bench_k_ablation_thm15");
+  table.WriteJson("bench_k_ablation_thm15");
 }
 
 void RunBAblation() {
@@ -100,6 +102,7 @@ void RunBAblation() {
   table.Print(
       "E10c: b-ablation, Algorithm 3 on a union of 3 stars (paper: b = 2a)");
   table.WriteCsv("bench_b_ablation");
+  table.WriteJson("bench_b_ablation");
 }
 
 }  // namespace

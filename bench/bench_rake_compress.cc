@@ -17,6 +17,7 @@ namespace {
 void Run() {
   Table table({"family", "n", "k", "iters", "iterBound(L9)", "maxDegTC",
                "k(L10)", "maxDiamTR", "diamBound(L11)", "rounds"});
+  bench::JsonWriter json;
   std::vector<TreeFamily> families = {
       TreeFamily::kUniform, TreeFamily::kBalanced3, TreeFamily::kPath,
       TreeFamily::kStar, TreeFamily::kCaterpillar};
@@ -58,12 +59,31 @@ void Run() {
                       Table::Num(max_deg_tc), Table::Num(k),
                       Table::Num(max_diam), Table::Num(diam_bound),
                       Table::Num(result.engine_rounds)});
+
+        // Machine-readable perf trajectory: the engine's per-round active
+        // set and message volume, which the round cost must track.
+        std::vector<int64_t> active, sent;
+        for (const auto& rs : result.round_stats) {
+          active.push_back(rs.active_nodes);
+          sent.push_back(rs.messages_sent);
+        }
+        json.BeginRecord();
+        json.Field("source", "bench_rake_compress");
+        json.Field("family", TreeFamilyName(family));
+        json.Field("n", tree.NumNodes());
+        json.Field("k", k);
+        json.Field("iterations", result.num_iterations);
+        json.Field("rounds", result.engine_rounds);
+        json.Field("messages", result.messages);
+        json.Field("round_active_nodes", active);
+        json.Field("round_messages", sent);
       }
     }
   }
   table.Print(
       "E1-E3: Algorithm 1 (rake-and-compress) vs Lemmas 9/10/11 bounds");
   table.WriteCsv("bench_rake_compress");
+  json.MergeAs("bench_rake_compress", "BENCH_engine.json");
 }
 
 }  // namespace

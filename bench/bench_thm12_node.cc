@@ -49,6 +49,7 @@ void RunProblem(const NodeProblem& problem, const std::string& title,
   }
   table.Print(title);
   table.WriteCsv(csv);
+  table.WriteJson(csv);
 }
 
 }  // namespace

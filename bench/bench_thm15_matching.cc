@@ -52,6 +52,7 @@ void Run() {
   table.Print(
       "E7: Theorem 15 maximal matching on trees (transformed vs direct)");
   table.WriteCsv("bench_thm15_matching");
+  table.WriteJson("bench_thm15_matching");
 }
 
 }  // namespace

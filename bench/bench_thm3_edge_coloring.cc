@@ -49,6 +49,7 @@ void RunMeasured() {
       "E8a: (edge-degree+1)-edge coloring on trees, measured pipeline "
       "(implemented f(Delta)=O~(Delta^2) base)");
   table.WriteCsv("bench_thm3_measured");
+  table.WriteJson("bench_thm3_measured");
 }
 
 void RunModeled() {
@@ -84,6 +85,7 @@ void RunModeled() {
       "E8b: Theorem 3 configuration (f = log^12 Delta [BBKO22b]; base "
       "phase modeled at f(g(n)) = log^{12/13} n, other phases measured)");
   table.WriteCsv("bench_thm3_modeled");
+  table.WriteJson("bench_thm3_modeled");
 }
 
 void RunAnalytic() {
@@ -103,6 +105,7 @@ void RunAnalytic() {
   table.Print(
       "E8c: analytic separation, log-space (crossover at L = (log2 L)^13)");
   table.WriteCsv("bench_thm3_analytic");
+  table.WriteJson("bench_thm3_analytic");
 }
 
 }  // namespace

@@ -39,6 +39,7 @@ void RunNodeF() {
       "E12a: truly local complexity of the node base algorithm "
       "(MIS; f(Delta) = Linial floor, log* term separate)");
   table.WriteCsv("bench_truly_local_node");
+  table.WriteJson("bench_truly_local_node");
 }
 
 void RunEdgeF() {
@@ -62,6 +63,7 @@ void RunEdgeF() {
       "E12b: truly local complexity of the edge base algorithm "
       "(matching via L(G); f as a function of the edge-degree)");
   table.WriteCsv("bench_truly_local_edge");
+  table.WriteJson("bench_truly_local_edge");
 }
 
 void RunLogStarTerm() {
@@ -80,6 +82,7 @@ void RunLogStarTerm() {
   }
   table.Print("E12c: the additive log* n term at fixed Delta = 4");
   table.WriteCsv("bench_truly_local_logstar");
+  table.WriteJson("bench_truly_local_logstar");
 }
 
 }  // namespace

@@ -3,8 +3,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
+
+#include "src/support/json.h"
 
 namespace treelocal::bench {
 
@@ -19,6 +25,103 @@ inline std::vector<int> PowersOfTwo(int lo, int hi) {
   for (int e = lo; e <= hi; ++e) out.push_back(1 << e);
   return out;
 }
+
+// Minimal JSON results writer: a flat array of records, each a flat object
+// (scalars plus numeric arrays for per-round trajectories). The perf
+// trajectory files (BENCH_engine.json, BENCH_*.json) are built with this so
+// downstream tooling never scrapes the pretty-printed tables. Emission
+// policy (escaping, non-finite handling) is shared with Table::WriteJson
+// via src/support/json.h.
+class JsonWriter {
+ public:
+  void BeginRecord() {
+    records_.emplace_back();
+    first_field_ = true;
+  }
+
+  void Field(const std::string& key, int64_t v) {
+    Raw(key, std::to_string(v));
+  }
+  void Field(const std::string& key, int v) { Field(key, int64_t{v}); }
+  void Field(const std::string& key, bool v) { Raw(key, v ? "true" : "false"); }
+  void Field(const std::string& key, double v) {
+    Raw(key, json::Number(v));  // non-finite -> null, never bare inf/nan
+  }
+  void Field(const std::string& key, const std::string& v) {
+    Raw(key, json::Quote(v));
+  }
+  void Field(const std::string& key, const char* v) {
+    Raw(key, json::Quote(v));
+  }
+  template <typename T>
+  void Field(const std::string& key, const std::vector<T>& values) {
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) os << ",";
+      if constexpr (std::is_floating_point_v<T>) {
+        os << json::Number(static_cast<double>(values[i]));
+      } else {
+        os << static_cast<int64_t>(values[i]);
+      }
+    }
+    os << "]";
+    Raw(key, os.str());
+  }
+
+  // Merges this writer's records into an existing JsonWriter-produced array
+  // (or creates the file), first dropping any existing records whose
+  // "source" field equals `source`. Several bench binaries can contribute
+  // to one trajectory file (e.g. BENCH_engine.json) and a rerun replaces a
+  // binary's own records instead of duplicating them or clobbering others'.
+  void MergeAs(const std::string& source, const std::string& path) const {
+    const std::string full = json::WithJsonExt(path);
+    const std::string tag = json::Quote("source") + ": " + json::Quote(source);
+    std::vector<std::string> existing;
+    {
+      std::ifstream in(full);
+      if (in) {
+        std::ostringstream all;
+        all << in.rdbuf();
+        for (std::string& rec : SplitRecords(all.str())) {
+          if (rec.find(tag) == std::string::npos) {
+            existing.push_back(std::move(rec));
+          }
+        }
+      }
+    }
+    existing.insert(existing.end(), records_.begin(), records_.end());
+    std::ofstream out(full);
+    json::RenderRecordArray(out, existing);
+  }
+
+ private:
+  void Raw(const std::string& key, const std::string& rendered) {
+    std::string& rec = records_.back();
+    if (!first_field_) rec += ", ";
+    first_field_ = false;
+    rec += json::Quote(key) + ": " + rendered;
+  }
+
+  // Recovers the per-record bodies from a file this writer produced: one
+  // record per "  {...}" line (json::RenderRecordArray's fixed layout).
+  static std::vector<std::string> SplitRecords(const std::string& text) {
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      size_t open = line.find('{');
+      if (open == std::string::npos) continue;
+      size_t close = line.rfind('}');
+      if (close == std::string::npos || close < open) continue;
+      out.push_back(line.substr(open + 1, close - open - 1));
+    }
+    return out;
+  }
+
+  std::vector<std::string> records_;
+  bool first_field_ = true;
+};
 
 }  // namespace treelocal::bench
 

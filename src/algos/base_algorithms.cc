@@ -19,6 +19,7 @@ BaseRunStats RunNodeBase(const NodeProblem& problem, const SemiGraph& semi,
   std::vector<int64_t> sub_ids = RestrictToSubgraph(under, host_ids);
   LinialResult linial = RunLinial(u, sub_ids, id_space);
   stats.linial_rounds = linial.rounds;
+  stats.messages = linial.messages;
 
   // Sweep the classes on the host graph so that the greedy sees (and labels)
   // the rank-1 half-edges of the semi-graph too.
@@ -51,6 +52,7 @@ BaseRunStats RunEdgeBase(const EdgeProblem& problem, const SemiGraph& semi,
   // One line-graph round costs 2 host rounds (exchange over shared
   // endpoints), hence the factor 2 on the symmetry-breaking part.
   stats.linial_rounds = 2 * linial.rounds;
+  stats.messages = linial.messages;
 
   std::vector<int> host_edges;
   host_edges.reserve(u.NumEdges());

@@ -26,6 +26,7 @@ struct BaseRunStats {
   int linial_rounds = 0;  // symmetry-breaking part (the log* n term)
   int64_t num_classes = 0;  // sweep part (the f(Delta) term)
   int underlying_max_degree = 0;
+  int64_t messages = 0;  // engine messages of the symmetry-breaking part
 };
 
 // Solves a NodeProblem on semi-graph `semi`, labeling every present

@@ -134,6 +134,7 @@ ColeVishkinResult ColeVishkin3Color(const Graph& forest,
   CvAlgorithm alg(forest, ids, parent, iterations);
   local::Network net(forest, ids);
   result.rounds = net.Run(alg, iterations + 64);
+  result.messages = net.messages_delivered();
   result.colors = alg.FinalColors();
   return result;
 }

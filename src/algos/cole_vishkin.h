@@ -15,6 +15,7 @@ namespace treelocal {
 struct ColeVishkinResult {
   std::vector<int> colors;  // in {0,1,2}
   int rounds = 0;
+  int64_t messages = 0;  // engine messages delivered
 };
 
 // `parent[v]` is the parent node index or -1 for roots. `ids` are distinct;

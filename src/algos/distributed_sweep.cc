@@ -81,6 +81,7 @@ DistributedSweepResult RunDistributedNodeSweep(
   local::Network net(g, ids);
   result.rounds = net.Run(alg, static_cast<int>(num_colors) + 2);
   result.messages = net.messages_delivered();
+  result.round_stats = net.round_stats();
   return result;
 }
 

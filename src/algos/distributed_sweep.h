@@ -24,6 +24,8 @@ struct DistributedSweepResult {
   HalfEdgeLabeling labeling;
   int rounds = 0;
   int64_t messages = 0;
+  // Per-round active-node/message counters from the engine run.
+  std::vector<local::RoundStats> round_stats;
 };
 
 // `colors[v]` in [0, num_colors) for every node of `g`; `ids` are the LOCAL

@@ -137,6 +137,7 @@ LinialResult RunLinial(const Graph& g, const std::vector<int64_t>& ids,
   local::Network net(g, ids);
   result.rounds =
       net.Run(alg, static_cast<int>(schedule.steps.size()) + 2);
+  result.messages = net.messages_delivered();
   result.colors = alg.colors();
   result.num_colors = schedule.final_colors;
   return result;

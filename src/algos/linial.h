@@ -35,6 +35,7 @@ struct LinialResult {
   std::vector<int64_t> colors;  // proper coloring, values in [0, num_colors)
   int64_t num_colors = 0;
   int rounds = 0;
+  int64_t messages = 0;  // engine messages delivered
 };
 
 // Runs Linial color reduction on `g` with the given distinct IDs

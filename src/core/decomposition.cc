@@ -84,6 +84,7 @@ DecompositionResult RunDecomposition(const Graph& g,
   int bound = DecompositionIterationBound(g.NumNodes(), a, k);
   result.engine_rounds = net.Run(alg, 2 * (2 * bound + 8));
   result.messages = net.messages_delivered();
+  result.round_stats = net.round_stats();
   result.layer = alg.layer();
   for (int v = 0; v < g.NumNodes(); ++v) {
     assert(result.layer[v] > 0 && "all nodes must be marked (Lemma 13)");

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/local/network.h"
 
 namespace treelocal {
 
@@ -27,6 +28,8 @@ struct DecompositionResult {
   int num_layers = 0;
   int engine_rounds = 0;
   int64_t messages = 0;
+  // Per-round active-node/message counters from the engine run.
+  std::vector<local::RoundStats> round_stats;
 
   bool Lower(int u, int v, const std::vector<int64_t>& ids) const {
     if (layer[u] != layer[v]) return layer[u] < layer[v];

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/local/network.h"
+#include "src/local/reference_network.h"
 #include "src/support/mathutil.h"
 
 namespace treelocal {
@@ -36,8 +37,9 @@ class RakeCompressAlgorithm : public local::Algorithm {
       ctx.Broadcast(local::Message::Of(kDegree, unmarked_degree_[v]));
     } else if (phase == 1) {
       // Compress decision: deg <= k and every unmarked neighbor <= k.
+      const int deg = ctx.degree();
       bool all_small = unmarked_degree_[v] <= k_;
-      for (int p = 0; p < ctx.degree() && all_small; ++p) {
+      for (int p = 0; p < deg && all_small; ++p) {
         const local::Message& msg = ctx.Recv(p);
         if (msg.present() && msg.word0 == kDegree && msg.word1 > k_) {
           all_small = false;
@@ -68,13 +70,14 @@ class RakeCompressAlgorithm : public local::Algorithm {
   // Decrements the live-degree for every neighbor announcing a mark.
   void ConsumeMarks(local::NodeContext& ctx) {
     const int v = ctx.node();
-    for (int p = 0; p < ctx.degree(); ++p) {
+    const int deg = ctx.degree();
+    int marks = 0;
+    for (int p = 0; p < deg; ++p) {
       const local::Message& msg = ctx.Recv(p);
-      if (msg.present() &&
-          (msg.word0 == kCompressed || msg.word0 == kRaked)) {
-        --unmarked_degree_[v];
-      }
+      marks += msg.present() &&
+               (msg.word0 == kCompressed || msg.word0 == kRaked);
     }
+    unmarked_degree_[v] -= marks;
   }
 
   const int k_;
@@ -91,16 +94,31 @@ int RakeCompressIterationBound(int64_t n, int k) {
 
 RakeCompressResult RunRakeCompress(const Graph& tree,
                                    const std::vector<int64_t>& ids, int k) {
+  if (tree.NumNodes() == 0) {
+    if (k < 2) throw std::invalid_argument("rake-compress requires k >= 2");
+    return RakeCompressResult{};
+  }
+  local::Network net(tree, ids);
+  return RunRakeCompress(net, k);
+}
+
+namespace {
+
+// Shared across the optimized and reference engines; both expose the same
+// Run/messages_delivered/round_stats surface.
+template <typename Engine>
+RakeCompressResult RunRakeCompressOnEngine(Engine& net, int k) {
   if (k < 2) throw std::invalid_argument("rake-compress requires k >= 2");
+  const Graph& tree = net.graph();
   RakeCompressResult result;
   if (tree.NumNodes() == 0) return result;
   RakeCompressAlgorithm alg(tree, k);
-  local::Network net(tree, ids);
   int bound = RakeCompressIterationBound(tree.NumNodes(), k);
   // Lemma 9 guarantees termination within `bound` iterations; allow slack so
   // a violation shows up as a test failure rather than an engine exception.
   result.engine_rounds = net.Run(alg, 3 * (2 * bound + 8));
   result.messages = net.messages_delivered();
+  result.round_stats = net.round_stats();
   result.iteration = alg.iteration();
   result.compressed = alg.compressed();
   for (int v = 0; v < tree.NumNodes(); ++v) {
@@ -109,6 +127,27 @@ RakeCompressResult RunRakeCompress(const Graph& tree,
         std::max(result.num_iterations, result.iteration[v]);
   }
   return result;
+}
+
+}  // namespace
+
+RakeCompressResult RunRakeCompress(local::Network& net, int k) {
+  return RunRakeCompressOnEngine(net, k);
+}
+
+RakeCompressResult RunRakeCompress(local::ReferenceNetwork& net, int k) {
+  return RunRakeCompressOnEngine(net, k);
+}
+
+RakeCompressResult RunRakeCompressReference(const Graph& tree,
+                                            const std::vector<int64_t>& ids,
+                                            int k) {
+  if (tree.NumNodes() == 0) {
+    if (k < 2) throw std::invalid_argument("rake-compress requires k >= 2");
+    return RakeCompressResult{};
+  }
+  local::ReferenceNetwork net(tree, ids);
+  return RunRakeCompressOnEngine(net, k);
 }
 
 }  // namespace treelocal

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/local/network.h"  // also forward-declares ReferenceNetwork
 
 namespace treelocal {
 
@@ -24,6 +25,10 @@ struct RakeCompressResult {
   int num_iterations = 0;  // iterations actually used
   int engine_rounds = 0;   // 3 * num_iterations
   int64_t messages = 0;
+  // Engine trajectory: per-round active-node and message counters. Most of
+  // the tree halts in early iterations, so active_nodes decays geometrically
+  // — the benches check simulation cost tracks this, not n.
+  std::vector<local::RoundStats> round_stats;
 
   // Total order of Algorithm 1's layers: C_1 < R_1 < C_2 < R_2 < ...
   // layer(v) = 2*(iteration-1) + (compressed ? 1 : 2).
@@ -43,6 +48,20 @@ struct RakeCompressResult {
 // independently, matching the paper's per-tree statement).
 RakeCompressResult RunRakeCompress(const Graph& tree,
                                    const std::vector<int64_t>& ids, int k);
+
+// Same process on a caller-owned engine (net.graph() must be a forest).
+// Repeated calls reuse the engine's mailboxes with no reallocation — the
+// form the throughput benches use.
+RakeCompressResult RunRakeCompress(local::Network& net, int k);
+
+// Same process on a caller-owned naive reference engine (per-round O(n + m)
+// cost); used by differential tests and the engine benchmarks.
+RakeCompressResult RunRakeCompress(local::ReferenceNetwork& net, int k);
+
+// Convenience form constructing the reference engine internally.
+RakeCompressResult RunRakeCompressReference(const Graph& tree,
+                                            const std::vector<int64_t>& ids,
+                                            int k);
 
 // Paper bound on iterations (Lemma 9 / Algorithm 1 loop count).
 int RakeCompressIterationBound(int64_t n, int k);

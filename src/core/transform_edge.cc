@@ -64,6 +64,8 @@ Thm15Result SolveEdgeProblemBoundedArboricity(const EdgeProblem& problem,
 
   result.rounds_total = result.rounds_decomposition + result.rounds_base +
                         result.rounds_split + result.rounds_gather;
+  result.engine_messages =
+      result.decomposition.messages + result.base_stats.messages;
   result.valid = problem.ValidateGraph(g, result.labeling, &result.why);
   return result;
 }

@@ -40,6 +40,10 @@ struct Thm15Result {
   int rounds_split = 0;   // forest split + Cole-Vishkin
   int rounds_gather = 0;  // sum over the 6a star stages
 
+  // Total engine messages across the measured phases (decomposition +
+  // base symmetry-breaking).
+  int64_t engine_messages = 0;
+
   DecompositionResult decomposition;
   BaseRunStats base_stats;
   int64_t num_typical = 0;

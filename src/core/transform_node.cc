@@ -66,6 +66,8 @@ Thm12Result SolveNodeProblemOnTree(const NodeProblem& problem,
 
   result.rounds_total = result.rounds_decomposition + result.rounds_base +
                         result.rounds_gather;
+  result.engine_messages =
+      result.rake_compress.messages + result.base_stats.messages;
   result.valid = problem.ValidateGraph(tree, result.labeling, &result.why);
   return result;
 }

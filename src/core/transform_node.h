@@ -33,6 +33,11 @@ struct Thm12Result {
   int rounds_base = 0;
   int rounds_gather = 0;
 
+  // Total engine messages across the measured phases (decomposition +
+  // base symmetry-breaking); the per-message engine cost the throughput
+  // benches track.
+  int64_t engine_messages = 0;
+
   RakeCompressResult rake_compress;
   BaseRunStats base_stats;
   int num_rake_components = 0;

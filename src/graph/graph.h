@@ -46,10 +46,11 @@ class Graph {
   // Endpoint slot of v on edge e: 0 if v == EdgeU(e), 1 if v == EdgeV(e).
   int EndpointSlot(int e, int v) const { return edge_u_[e] == v ? 0 : 1; }
 
-  // Returns the edge id between u and v, or -1 if absent. O(min degree).
+  // Returns the edge id between u and v, or -1 if absent. Binary search in
+  // the smaller endpoint's sorted adjacency: O(log min(deg u, deg v)).
   int EdgeBetween(int u, int v) const;
 
-  // Port of neighbor u in v's adjacency, or -1. O(deg v).
+  // Port of neighbor u in v's adjacency, or -1. Binary search: O(log deg v).
   int PortOf(int v, int u) const;
 
   // edge-degree(e) = number of edges adjacent to e.

@@ -1,77 +1,101 @@
 #include "src/local/network.h"
 
 #include <cassert>
+#include <chrono>
+#include <numeric>
 #include <stdexcept>
 
 namespace treelocal::local {
 
-int NodeContext::degree() const { return net_->graph().Degree(node_); }
-int64_t NodeContext::id() const { return net_->ids_[node_]; }
-int64_t NodeContext::neighbor_id(int port) const {
-  return net_->ids_[net_->graph().Neighbors(node_)[port]];
-}
-int NodeContext::n() const { return net_->graph().NumNodes(); }
-int NodeContext::max_degree() const { return net_->graph().MaxDegree(); }
-int NodeContext::round() const { return net_->round_; }
-
-const Message& NodeContext::Recv(int port) const {
-  const Graph& g = net_->graph();
-  int e = g.IncidentEdges(node_)[port];
-  int sender_slot = 1 - g.EndpointSlot(e, node_);
-  return net_->inbox_[Network::Channel(e, sender_slot)];
-}
-
-void NodeContext::Send(int port, Message m) {
-  const Graph& g = net_->graph();
-  int e = g.IncidentEdges(node_)[port];
-  int my_slot = g.EndpointSlot(e, node_);
-  net_->outbox_[Network::Channel(e, my_slot)] = m;
-}
-
-void NodeContext::Broadcast(Message m) {
-  for (int p = 0; p < degree(); ++p) Send(p, m);
-}
-
-void NodeContext::Halt() {
-  if (!net_->halted_[node_]) {
-    net_->halted_[node_] = 1;
-    ++net_->num_halted_;
-  }
-}
+const Message Network::kNoMessage{};
 
 Network::Network(const Graph& graph, std::vector<int64_t> ids)
     : graph_(&graph), ids_(std::move(ids)) {
   assert(static_cast<int>(ids_.size()) == graph.NumNodes());
-  inbox_.assign(2 * static_cast<size_t>(graph.NumEdges()), Message{});
-  outbox_.assign(2 * static_cast<size_t>(graph.NumEdges()), Message{});
-  halted_.assign(graph.NumNodes(), 0);
+  const int n = graph.NumNodes();
+  const size_t channels = 2 * static_cast<size_t>(graph.NumEdges());
+
+  first_.resize(n + 1);
+  first_[0] = 0;
+  for (int v = 0; v < n; ++v) first_[v + 1] = first_[v] + graph.Degree(v);
+
+  // send_chan_[first_[v] + p] = CSR slot of the reverse half-edge (u -> v)
+  // where u = Neighbors(v)[p] — i.e. the receiver-side inbox slot a send on
+  // (v, p) must land in. Built in O(n + m) via one pass that records, per
+  // edge, the CSR slots of its two half-edges.
+  send_chan_.resize(channels);
+  std::vector<int> slot_u(graph.NumEdges(), -1);  // first-seen slot per edge
+  for (int v = 0; v < n; ++v) {
+    auto inc = graph.IncidentEdges(v);
+    for (int p = 0; p < static_cast<int>(inc.size()); ++p) {
+      const int e = inc[p];
+      const int slot = first_[v] + p;
+      if (slot_u[e] < 0) {
+        slot_u[e] = slot;
+      } else {
+        send_chan_[slot] = slot_u[e];
+        send_chan_[slot_u[e]] = slot;
+      }
+    }
+  }
+
+  inbox_.assign(channels, Message{});
+  outbox_.assign(channels, Message{});
+  halted_.assign(n, 0);
+  active_.reserve(n);
 }
 
 int Network::Run(Algorithm& alg, int max_rounds) {
   const int n = graph_->NumNodes();
   round_ = 0;
-  num_halted_ = 0;
   messages_delivered_ = 0;
+  round_stats_.clear();
+  round_seconds_.clear();
+  // Advancing by 2 leaves every stamp from the previous run strictly below
+  // epoch_ - 1, so round 0 of this run cannot observe stale messages. The
+  // 32-bit stamp could wrap on a very long-lived engine (~2^31 cumulative
+  // rounds); when close, re-arm every stamp once — amortized cost zero.
+  if (epoch_ > INT32_MAX - max_rounds - 4) {
+    for (auto& m : inbox_) m.engine_stamp = -1;
+    for (auto& m : outbox_) m.engine_stamp = -1;
+    epoch_ = 1;
+  }
+  epoch_ += 2;
   std::fill(halted_.begin(), halted_.end(), 0);
-  std::fill(inbox_.begin(), inbox_.end(), Message{});
-  std::fill(outbox_.begin(), outbox_.end(), Message{});
+  active_.resize(n);
+  std::iota(active_.begin(), active_.end(), 0);
 
-  while (num_halted_ < n) {
+  NodeContext ctx(graph_, ids_.data(), this, nullptr);
+  while (!active_.empty()) {
     if (round_ >= max_rounds) {
       throw std::runtime_error("Network::Run exceeded max_rounds");
     }
-    for (int v = 0; v < n; ++v) {
-      if (halted_[v]) continue;
-      NodeContext ctx(this, v);
+    ctx.round_ = round_;
+    std::chrono::steady_clock::time_point t0;
+    if (record_round_times_) t0 = std::chrono::steady_clock::now();
+    const int active_now = static_cast<int>(active_.size());
+    const int64_t sent_before = messages_delivered_;
+    // Run all active nodes, compacting halted ones out in place (stable:
+    // increasing node order is preserved, matching the reference engine).
+    size_t kept = 0;
+    for (int i = 0; i < active_now; ++i) {
+      const int v = active_[i];
+      ctx.node_ = v;
       alg.OnRound(ctx);
+      active_[kept] = v;
+      kept += halted_[v] ? 0 : 1;
     }
-    // Deliver: what was sent this round is readable next round.
+    active_.resize(kept);
+    round_stats_.push_back({active_now, messages_delivered_ - sent_before});
+    if (record_round_times_) {
+      round_seconds_.push_back(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    // Deliver: O(1) buffer swap; epoch stamps make clearing unnecessary.
     std::swap(inbox_, outbox_);
-    for (auto& m : outbox_) m = Message{};
-    for (const auto& m : inbox_) {
-      if (m.present()) ++messages_delivered_;
-    }
     ++round_;
+    ++epoch_;
   }
   return round_;
 }

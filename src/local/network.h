@@ -15,44 +15,86 @@ struct Message {
   int64_t word0 = 0;
   int64_t word1 = 0;
   uint8_t size = 0;  // 0 = no message
+  // Engine-internal epoch stamp, not part of the payload: it lives in what
+  // would otherwise be struct padding, so a mailbox slot stays at 24 bytes
+  // and one Recv/Send touches a single cache line. Algorithms must ignore it.
+  int32_t engine_stamp = -1;
 
   static Message Of(int64_t a) { return Message{a, 0, 1}; }
   static Message Of(int64_t a, int64_t b) { return Message{a, b, 2}; }
   bool present() const { return size > 0; }
 };
+static_assert(sizeof(Message) == 24, "mailbox slots must stay 24 bytes");
+
+// Per-round engine counters, recorded by both engines and consumed by the
+// benchmark drivers: the per-round simulation cost must track active_nodes
+// (not n) once most nodes have halted.
+struct RoundStats {
+  int active_nodes = 0;       // nodes whose OnRound ran this round
+  int64_t messages_sent = 0;  // present messages queued (delivered next round)
+
+  friend bool operator==(const RoundStats&, const RoundStats&) = default;
+};
 
 class Network;
+class ReferenceNetwork;
+
+namespace internal {
+// Out-of-line hooks for the reference engine's NodeContext paths; defined in
+// reference_network.cc so network.h needs only forward declarations.
+const Message& RefRecv(const ReferenceNetwork& ref, int node, int port);
+void RefSend(ReferenceNetwork& ref, int node, int port, Message m);
+void RefHalt(ReferenceNetwork& ref, int node);
+}  // namespace internal
 
 // Per-node view handed to Algorithm::OnRound. In the LOCAL model (Definition
 // 5) nodes know n, Delta, and their own ID; neighbor IDs become known after
 // one round of communication — the engine exposes them directly for
 // convenience, which is standard (it shifts round counts by at most 1).
+//
+// One NodeContext serves both engines: the optimized Network (inline fast
+// paths, single array loads) and the ReferenceNetwork (naive per-round
+// clears, used for differential testing). Exactly one of net_/ref_ is set;
+// the branch predicts perfectly inside a run.
 class NodeContext {
  public:
   int node() const { return node_; }
-  int degree() const;
-  int64_t id() const;
-  int64_t neighbor_id(int port) const;
-  int n() const;
-  int max_degree() const;
-  int round() const;
+  int degree() const { return graph_->Degree(node_); }
+  int64_t id() const { return ids_[node_]; }
+  int64_t neighbor_id(int port) const {
+    return ids_[graph_->Neighbors(node_)[port]];
+  }
+  int n() const { return graph_->NumNodes(); }
+  int max_degree() const { return graph_->MaxDegree(); }
+  int round() const { return round_; }
 
   // Message received on `port` this round (sent by the neighbor last round).
-  const Message& Recv(int port) const;
+  // O(1): one channel-table load plus an epoch check.
+  inline const Message& Recv(int port) const;
 
-  // Queue a message on `port` for delivery next round.
-  void Send(int port, Message m);
-  void Broadcast(Message m);
+  // Queue a message on `port` for delivery next round. O(1): the send
+  // channel for (node, port) is the node's own CSR slot, no lookup at all.
+  // Sending twice on a port in one round keeps only the last message.
+  inline void Send(int port, Message m);
+  inline void Broadcast(Message m);
 
   // Mark this node as terminated; OnRound is no longer called for it and its
-  // outgoing channels fall silent.
-  void Halt();
+  // outgoing channels fall silent (stale epoch stamps, never re-cleared).
+  inline void Halt();
 
  private:
   friend class Network;
-  NodeContext(Network* net, int node) : net_(net), node_(node) {}
-  Network* net_;
-  int node_;
+  friend class ReferenceNetwork;
+  NodeContext(const Graph* graph, const int64_t* ids, Network* net,
+              ReferenceNetwork* ref)
+      : graph_(graph), ids_(ids), net_(net), ref_(ref) {}
+
+  const Graph* graph_;
+  const int64_t* ids_;
+  Network* net_;         // optimized engine, or null
+  ReferenceNetwork* ref_;  // reference engine, or null
+  int node_ = 0;
+  int round_ = 0;
 };
 
 // A distributed algorithm: one object, per-node state kept by the
@@ -66,7 +108,36 @@ class Algorithm {
 
 // Synchronous message-passing engine over a port-numbered network, per the
 // LOCAL model: all nodes run in lockstep; messages sent in round r are
-// received in round r+1. Deterministic by construction.
+// received in round r+1. Deterministic by construction (nodes run in
+// increasing index order; the LOCAL semantics are order-independent because
+// sends only become visible next round).
+//
+// Throughput design (the per-round cost is the system-wide bottleneck for
+// every pipeline in this repository):
+//   * Channel tables in CSR layout, built once at construction. Channels are
+//     indexed by the RECEIVER's CSR slot: Recv(v, p) is a single sequential
+//     load of v's own slot first_[v] + p (ports scan contiguously, so the
+//     prefetcher covers per-node inbox scans), while Send(v, p) stores
+//     through the precomputed send_chan_ table to the reverse half-edge — a
+//     random store, which the store buffer absorbs without stalling, unlike
+//     the random load a sender-indexed layout would put in Recv. No
+//     IncidentEdges/EndpointSlot recomputation on the hot path.
+//   * Epoch-stamped mailboxes: each channel carries the epoch at which it was
+//     last written. A message is visible iff its stamp equals the previous
+//     epoch. This removes the per-round O(2m) outbox clear and the O(2m)
+//     delivered-message scan — messages are counted at send time instead.
+//   * Active-node worklist: each round iterates only non-halted nodes and
+//     compacts in place (stable, preserving index order). Once a node halts
+//     it is never touched again.
+//
+// Per-round complexity: O(sum of OnRound costs over active nodes) + O(#active)
+// for the compaction + O(1) bookkeeping. Nothing is proportional to n or m
+// per round; construction is O(n + m); Run performs no allocation beyond
+// growing the per-round stats vector.
+//
+// A Network is reusable: Run may be called any number of times (same graph
+// and IDs) with no reallocation — epochs advance monotonically across runs,
+// so mailboxes never need clearing.
 class Network {
  public:
   Network(const Graph& graph, std::vector<int64_t> ids);
@@ -74,28 +145,89 @@ class Network {
   // Runs `alg` until every node has halted or `max_rounds` is hit.
   // Returns the number of rounds executed (a node halting in round r has
   // round complexity r+1 counted rounds; an algorithm that halts every node
-  // in round 0 used 1 round). Asserts if max_rounds is exceeded.
+  // in round 0 used 1 round). Throws if max_rounds is exceeded.
   int Run(Algorithm& alg, int max_rounds);
 
   const Graph& graph() const { return *graph_; }
   const std::vector<int64_t>& ids() const { return ids_; }
+
+  // Total present messages delivered over the last Run (a message sent in
+  // the final round is counted: it is delivered even if nobody reads it).
   int64_t messages_delivered() const { return messages_delivered_; }
+
+  // Per-round counters for the last Run; round_stats()[r] covers round r.
+  const std::vector<RoundStats>& round_stats() const { return round_stats_; }
+
+  // Opt-in wall-clock timing of each round (two clock reads per round; off
+  // by default so the hot loop stays branch-only). Consumed by the engine
+  // benches to show per-round cost tracks active_nodes, not n.
+  void set_record_round_times(bool on) { record_round_times_ = on; }
+  const std::vector<double>& round_seconds() const { return round_seconds_; }
 
  private:
   friend class NodeContext;
 
-  // Directed channel index for the half-edge (edge e, sender slot s).
-  static size_t Channel(int e, int s) { return 2 * static_cast<size_t>(e) + s; }
-
   const Graph* graph_;
   std::vector<int64_t> ids_;
-  std::vector<Message> inbox_;   // indexed by receiving channel
-  std::vector<Message> outbox_;  // indexed by sending channel
+  std::vector<int> first_;      // size n+1: CSR offsets; recv channel of
+                                // (v, p) is first_[v] + p
+  std::vector<int> send_chan_;  // size 2m: send channel of (v, p), i.e. the
+                                // CSR slot of the reverse half-edge
+  // Double-buffered mailboxes, each slot epoch-stamped in the Message's
+  // engine_stamp field; swapped (O(1)) each round, never cleared.
+  std::vector<Message> inbox_, outbox_;
   std::vector<char> halted_;
+  std::vector<int> active_;  // worklist of non-halted nodes, index order
+  std::vector<RoundStats> round_stats_;
+  std::vector<double> round_seconds_;
+  bool record_round_times_ = false;
+  int32_t epoch_ = 1;  // monotone across runs (wrap-guarded in Run);
+                       // stamps start at -1
   int round_ = 0;
   int64_t messages_delivered_ = 0;
-  int num_halted_ = 0;
+
+  static const Message kNoMessage;
 };
+
+inline const Message& NodeContext::Recv(int port) const {
+  if (net_ != nullptr) [[likely]] {
+    const auto c = static_cast<size_t>(net_->first_[node_] + port);
+    const Message& s = net_->inbox_[c];
+    return s.engine_stamp + 1 == net_->epoch_ ? s : Network::kNoMessage;
+  }
+  return internal::RefRecv(*ref_, node_, port);
+}
+
+inline void NodeContext::Send(int port, Message m) {
+  if (net_ != nullptr) [[likely]] {
+    const auto c = static_cast<size_t>(net_->send_chan_[net_->first_[node_] + port]);
+    Message& s = net_->outbox_[c];
+    if (s.engine_stamp == net_->epoch_) {
+      // Second write on this channel this round: last write wins, undo the
+      // earlier message's contribution to the counter.
+      net_->messages_delivered_ -= s.present();
+    }
+    const int32_t stamp = net_->epoch_;
+    s = m;
+    s.engine_stamp = stamp;
+    net_->messages_delivered_ += m.present();
+    return;
+  }
+  internal::RefSend(*ref_, node_, port, m);
+}
+
+inline void NodeContext::Broadcast(Message m) {
+  const int deg = degree();
+  for (int p = 0; p < deg; ++p) Send(p, m);
+}
+
+inline void NodeContext::Halt() {
+  if (net_ != nullptr) [[likely]] {
+    net_->halted_[node_] = 1;  // worklist compaction happens after OnRound
+    return;
+  }
+  internal::RefHalt(*ref_, node_);
+}
 
 }  // namespace treelocal::local
 

@@ -1,0 +1,87 @@
+#include "src/local/reference_network.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace treelocal::local {
+
+namespace internal {
+
+const Message& RefRecv(const ReferenceNetwork& ref, int node, int port) {
+  return ref.RecvAt(node, port);
+}
+
+void RefSend(ReferenceNetwork& ref, int node, int port, Message m) {
+  ref.SendAt(node, port, m);
+}
+
+void RefHalt(ReferenceNetwork& ref, int node) { ref.HaltAt(node); }
+
+}  // namespace internal
+
+ReferenceNetwork::ReferenceNetwork(const Graph& graph, std::vector<int64_t> ids)
+    : graph_(&graph), ids_(std::move(ids)) {
+  assert(static_cast<int>(ids_.size()) == graph.NumNodes());
+  inbox_.assign(2 * static_cast<size_t>(graph.NumEdges()), Message{});
+  outbox_.assign(2 * static_cast<size_t>(graph.NumEdges()), Message{});
+  halted_.assign(graph.NumNodes(), 0);
+}
+
+const Message& ReferenceNetwork::RecvAt(int node, int port) const {
+  const Graph& g = *graph_;
+  int e = g.IncidentEdges(node)[port];
+  int sender_slot = 1 - g.EndpointSlot(e, node);
+  return inbox_[Channel(e, sender_slot)];
+}
+
+void ReferenceNetwork::SendAt(int node, int port, Message m) {
+  const Graph& g = *graph_;
+  int e = g.IncidentEdges(node)[port];
+  int my_slot = g.EndpointSlot(e, node);
+  outbox_[Channel(e, my_slot)] = m;
+}
+
+void ReferenceNetwork::HaltAt(int node) {
+  if (!halted_[node]) {
+    halted_[node] = 1;
+    ++num_halted_;
+  }
+}
+
+int ReferenceNetwork::Run(Algorithm& alg, int max_rounds) {
+  const int n = graph_->NumNodes();
+  round_ = 0;
+  num_halted_ = 0;
+  messages_delivered_ = 0;
+  round_stats_.clear();
+  std::fill(halted_.begin(), halted_.end(), 0);
+  std::fill(inbox_.begin(), inbox_.end(), Message{});
+  std::fill(outbox_.begin(), outbox_.end(), Message{});
+
+  NodeContext ctx(graph_, ids_.data(), nullptr, this);
+  while (num_halted_ < n) {
+    if (round_ >= max_rounds) {
+      throw std::runtime_error("ReferenceNetwork::Run exceeded max_rounds");
+    }
+    ctx.round_ = round_;
+    const int active_now = n - num_halted_;
+    for (int v = 0; v < n; ++v) {
+      if (halted_[v]) continue;
+      ctx.node_ = v;
+      alg.OnRound(ctx);
+    }
+    // Deliver: what was sent this round is readable next round.
+    std::swap(inbox_, outbox_);
+    for (auto& m : outbox_) m = Message{};
+    int64_t sent = 0;
+    for (const auto& m : inbox_) {
+      if (m.present()) ++sent;
+    }
+    messages_delivered_ += sent;
+    round_stats_.push_back({active_now, sent});
+    ++round_;
+  }
+  return round_;
+}
+
+}  // namespace treelocal::local

@@ -1,0 +1,55 @@
+#ifndef TREELOCAL_LOCAL_REFERENCE_NETWORK_H_
+#define TREELOCAL_LOCAL_REFERENCE_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/local/network.h"
+
+namespace treelocal::local {
+
+// Naive reference implementation of the LOCAL engine, kept for differential
+// testing of the optimized Network. Semantics are identical by contract
+// (same Algorithm/NodeContext interface, same round/message accounting);
+// the implementation is deliberately the straightforward one:
+//   * channels recomputed per access from IncidentEdges + EndpointSlot,
+//   * per-round O(2m) outbox clear and O(2m) delivered-message scan,
+//   * per-round O(n) scan over all nodes, halted or not.
+// Per-round cost is O(n + m) regardless of how many nodes are still active —
+// exactly the behavior the optimized engine eliminates.
+class ReferenceNetwork {
+ public:
+  ReferenceNetwork(const Graph& graph, std::vector<int64_t> ids);
+
+  // Same contract as Network::Run.
+  int Run(Algorithm& alg, int max_rounds);
+
+  const Graph& graph() const { return *graph_; }
+  const std::vector<int64_t>& ids() const { return ids_; }
+  int64_t messages_delivered() const { return messages_delivered_; }
+  const std::vector<RoundStats>& round_stats() const { return round_stats_; }
+
+  // Channel primitives used by NodeContext's reference dispatch (and handy
+  // for white-box tests).
+  const Message& RecvAt(int node, int port) const;
+  void SendAt(int node, int port, Message m);
+  void HaltAt(int node);
+
+ private:
+  // Directed channel index for the half-edge (edge e, sender slot s).
+  static size_t Channel(int e, int s) { return 2 * static_cast<size_t>(e) + s; }
+
+  const Graph* graph_;
+  std::vector<int64_t> ids_;
+  std::vector<Message> inbox_;   // indexed by receiving channel
+  std::vector<Message> outbox_;  // indexed by sending channel
+  std::vector<char> halted_;
+  std::vector<RoundStats> round_stats_;
+  int round_ = 0;
+  int64_t messages_delivered_ = 0;
+  int num_halted_ = 0;
+};
+
+}  // namespace treelocal::local
+
+#endif  // TREELOCAL_LOCAL_REFERENCE_NETWORK_H_

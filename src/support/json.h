@@ -1,0 +1,104 @@
+#ifndef TREELOCAL_SUPPORT_JSON_H_
+#define TREELOCAL_SUPPORT_JSON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+// Shared JSON emission primitives for the machine-readable results files
+// (Table::WriteJson, bench::JsonWriter). One escaping/formatting policy so
+// every emitted file parses with a strict JSON reader.
+namespace treelocal::json {
+
+// JSON string literal with full control-character escaping.
+inline std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// Renders a double as a JSON number, or null for non-finite values (JSON
+// has no inf/nan tokens).
+inline std::string Number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// True iff `s` matches the strict JSON number grammar
+// -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)? — safe to emit unquoted.
+// Deliberately NOT strtod-based: strtod accepts inf/nan/hex/leading-'+'
+// forms that strict JSON readers reject.
+inline bool IsNumberToken(const std::string& s) {
+  size_t i = 0;
+  const size_t n = s.size();
+  auto digits = [&] {
+    size_t start = i;
+    while (i < n && s[i] >= '0' && s[i] <= '9') ++i;
+    return i > start;
+  };
+  if (i < n && s[i] == '-') ++i;
+  if (i >= n) return false;
+  if (s[i] == '0') {
+    ++i;  // leading zero must stand alone
+  } else if (!digits()) {
+    return false;
+  }
+  if (i < n && s[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < n && (s[i] == '+' || s[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return i == n;
+}
+
+// `path` with a ".json" extension appended if absent.
+inline std::string WithJsonExt(const std::string& path) {
+  return path.size() >= 5 && path.substr(path.size() - 5) == ".json"
+             ? path
+             : path + ".json";
+}
+
+// Renders pre-built record bodies as a JSON array of objects, one record
+// per "  {...}" line. This exact layout is a contract: JsonWriter::MergeAs
+// re-parses files line-by-line to merge bench results, so every emitter
+// must go through this function.
+inline void RenderRecordArray(std::ostream& out,
+                              const std::vector<std::string>& records) {
+  out << "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    out << "  {" << records[i] << "}";
+    if (i + 1 < records.size()) out << ",";
+    out << "\n";
+  }
+  out << "]\n";
+}
+
+}  // namespace treelocal::json
+
+#endif  // TREELOCAL_SUPPORT_JSON_H_

@@ -6,6 +6,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "src/support/json.h"
+
 namespace treelocal {
 
 Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
@@ -65,6 +67,23 @@ void Table::WriteCsv(const std::string& path) const {
   };
   write_row(columns_);
   for (const auto& row : rows_) write_row(row);
+}
+
+void Table::WriteJson(const std::string& path) const {
+  std::ofstream out(json::WithJsonExt(path));
+  if (!out) return;
+  std::vector<std::string> records;
+  records.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::string rec;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c) rec += ", ";
+      rec += json::Quote(columns_[c]) + ": " +
+             (json::IsNumberToken(row[c]) ? row[c] : json::Quote(row[c]));
+    }
+    records.push_back(std::move(rec));
+  }
+  json::RenderRecordArray(out, records);
 }
 
 }  // namespace treelocal

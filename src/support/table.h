@@ -26,6 +26,11 @@ class Table {
   // Writes the table as CSV to the given path (appends ".csv" if absent).
   void WriteCsv(const std::string& path) const;
 
+  // Writes the table as a JSON array of objects keyed by column name
+  // (appends ".json" if absent). Cells that parse as numbers are emitted as
+  // numbers so the perf series stay machine-readable.
+  void WriteJson(const std::string& path) const;
+
  private:
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/graph/generators.h"
 #include "src/graph/graph.h"
 #include "src/graph/linegraph.h"
 #include "src/graph/subgraph.h"
@@ -68,6 +69,33 @@ TEST(GraphTest, EdgeBetween) {
   EXPECT_EQ(g.EdgeBetween(0, 3), -1);
   int e = g.EdgeBetween(1, 2);
   EXPECT_EQ(g.Endpoints(e), (std::pair<int, int>{1, 2}));
+}
+
+// Exhaustive regression for the binary-search EdgeBetween/PortOf over the
+// sorted adjacency lists: agree with edge-list membership for every ordered
+// pair, including absent pairs and both argument orders.
+TEST(GraphTest, EdgeBetweenExhaustiveOnRandomGraph) {
+  Graph g = BoundedDegreeRandomTree(80, 7, 123);
+  std::vector<std::vector<int>> want(g.NumNodes(),
+                                     std::vector<int>(g.NumNodes(), -1));
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    auto [u, v] = g.Endpoints(e);
+    want[u][v] = want[v][u] = e;
+  }
+  for (int u = 0; u < g.NumNodes(); ++u) {
+    for (int v = 0; v < g.NumNodes(); ++v) {
+      if (u == v) continue;
+      EXPECT_EQ(g.EdgeBetween(u, v), want[u][v]) << u << "," << v;
+      if (want[u][v] >= 0) {
+        int p = g.PortOf(u, v);
+        ASSERT_GE(p, 0);
+        EXPECT_EQ(g.Neighbors(u)[p], v);
+        EXPECT_EQ(g.IncidentEdges(u)[p], want[u][v]);
+      } else {
+        EXPECT_EQ(g.PortOf(u, v), -1);
+      }
+    }
+  }
 }
 
 TEST(GraphTest, PortOf) {

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
+#include "src/support/json.h"
 #include "src/support/table.h"
 
 namespace treelocal {
@@ -33,6 +36,54 @@ TEST(TableTest, CsvRoundTrip) {
   std::getline(in, line);
   EXPECT_EQ(line, "2,y");
   std::remove((path + ".csv").c_str());
+}
+
+TEST(TableTest, WriteJsonQuotesOnlyNonNumbers) {
+  Table t({"name", "count", "ratio"});
+  t.AddRow({"uniform", "42", "0.50"});
+  // Non-finite and hex-looking cells must be quoted, never emitted as bare
+  // JSON-invalid tokens (inf/nan parse fully under strtod).
+  t.AddRow({"star", "inf", "nan"});
+  t.AddRow({"say \"hi\"", "0x10", "-1.5e3"});
+  std::string path = "/tmp/treelocal_table_json_test";
+  t.WriteJson(path);
+  std::ifstream in(path + ".json");
+  ASSERT_TRUE(in.good());
+  std::stringstream all;
+  all << in.rdbuf();
+  std::string text = all.str();
+  EXPECT_NE(text.find("\"count\": 42"), std::string::npos);
+  EXPECT_NE(text.find("\"ratio\": 0.50"), std::string::npos);
+  EXPECT_NE(text.find("\"count\": \"inf\""), std::string::npos);
+  EXPECT_NE(text.find("\"ratio\": \"nan\""), std::string::npos);
+  EXPECT_NE(text.find("\"count\": \"0x10\""), std::string::npos);
+  EXPECT_NE(text.find("\"ratio\": -1.5e3"), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"say \\\"hi\\\"\""), std::string::npos);
+  std::remove((path + ".json").c_str());
+}
+
+TEST(TableTest, JsonHelpers) {
+  EXPECT_TRUE(json::IsNumberToken("42"));
+  EXPECT_TRUE(json::IsNumberToken("-1.5e3"));
+  EXPECT_TRUE(json::IsNumberToken("0"));
+  EXPECT_TRUE(json::IsNumberToken("0.50"));
+  EXPECT_TRUE(json::IsNumberToken("1e+9"));
+  EXPECT_FALSE(json::IsNumberToken("inf"));
+  EXPECT_FALSE(json::IsNumberToken("nan"));
+  EXPECT_FALSE(json::IsNumberToken("0x10"));
+  EXPECT_FALSE(json::IsNumberToken(""));
+  EXPECT_FALSE(json::IsNumberToken("12a"));
+  // Valid for strtod but not for strict JSON readers:
+  EXPECT_FALSE(json::IsNumberToken("+5"));
+  EXPECT_FALSE(json::IsNumberToken("042"));
+  EXPECT_FALSE(json::IsNumberToken(".5"));
+  EXPECT_FALSE(json::IsNumberToken("5."));
+  EXPECT_FALSE(json::IsNumberToken("-"));
+  EXPECT_FALSE(json::IsNumberToken("1e"));
+  EXPECT_EQ(json::Number(0.5), "0.5");
+  EXPECT_EQ(json::Number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json::Number(std::nan("")), "null");
+  EXPECT_EQ(json::Quote("a\nb\"c\\d\x01"), "\"a\\nb\\\"c\\\\d\\u0001\"");
 }
 
 TEST(TableTest, PrintDoesNotCrashOnEmpty) {
