@@ -1,0 +1,159 @@
+// Experiment E12: batched multi-instance engine throughput. Runs the
+// k-ablation rake-compress sweep (the engine-bound phase of every Theorem
+// 12/15 pipeline) two ways over one shared topology:
+//   * sequential: one reusable Network, one Run per k;
+//   * batched: one BatchNetwork with B = |ks| instances, one engine pass.
+// Verifies the batch is bit-identical to the sequential runs per instance
+// (outputs, per-instance round counts, message counts, per-round stats) —
+// the process exits non-zero on any divergence, which is what CI gates on —
+// and records the throughput ratio in BENCH_engine.json.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/rake_compress.h"
+#include "src/graph/generators.h"
+#include "src/local/network.h"
+#include "src/support/rng.h"
+
+namespace treelocal {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool Identical(const RakeCompressResult& a, const RakeCompressResult& b) {
+  return a.iteration == b.iteration && a.compressed == b.compressed &&
+         a.num_iterations == b.num_iterations &&
+         a.engine_rounds == b.engine_rounds && a.messages == b.messages &&
+         a.round_stats == b.round_stats;
+}
+
+// Returns true iff the batched transcripts matched the sequential ones.
+bool RunBatchAcceptance(const Graph& tree, const std::vector<int64_t>& ids,
+                        const std::vector<int>& ks, int reps,
+                        bench::JsonWriter& json) {
+  const int n = tree.NumNodes();
+  const int batch = static_cast<int>(ks.size());
+  std::cout << "Batch acceptance: rake-compress k-sweep on a " << n
+            << "-node uniform tree, B=" << batch << " instances\n";
+
+  // Both sides use one pre-constructed, reusable engine and best-of-reps
+  // timing after a warmup pass, so the comparison is round throughput, not
+  // construction or page-fault traffic.
+  local::Network seq_net(tree, ids);
+  std::vector<RakeCompressResult> seq(batch);
+  for (int b = 0; b < batch; ++b) seq[b] = RunRakeCompress(seq_net, ks[b]);
+  double seq_s = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto t0 = Clock::now();
+    for (int b = 0; b < batch; ++b) seq[b] = RunRakeCompress(seq_net, ks[b]);
+    seq_s = std::min(seq_s, Seconds(t0));
+  }
+
+  local::BatchNetwork batch_net(tree, ids, batch);
+  std::vector<RakeCompressResult> batched = RunRakeCompressBatch(batch_net, ks);
+  double batch_s = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto t0 = Clock::now();
+    batched = RunRakeCompressBatch(batch_net, ks);
+    batch_s = std::min(batch_s, Seconds(t0));
+  }
+
+  bool identical = true;
+  for (int b = 0; b < batch; ++b) identical &= Identical(seq[b], batched[b]);
+  const double speedup = seq_s / batch_s;
+
+  std::vector<int64_t> rounds, messages;
+  for (const auto& r : batched) {
+    rounds.push_back(r.engine_rounds);
+    messages.push_back(r.messages);
+  }
+
+  json.BeginRecord();
+  json.Field("source", "bench_batch");
+  json.Field("experiment", "batched_k_sweep_rake_compress");
+  json.Field("family", "uniform-random");
+  json.Field("n", n);
+  json.Field("edges", tree.NumEdges());
+  json.Field("batch", batch);
+  json.Field("ks", ks);
+  json.Field("sequential_seconds", seq_s);
+  json.Field("batch_seconds", batch_s);
+  json.Field("speedup", speedup);
+  json.Field("transcripts_identical", identical);
+  json.Field("instance_rounds", rounds);
+  json.Field("instance_messages", messages);
+
+  std::cout << "  identical=" << (identical ? "yes" : "NO (BUG)")
+            << "  sequential: " << seq_s << " s   batched: " << batch_s
+            << " s   throughput: " << speedup << "x\n";
+  return identical;
+}
+
+}  // namespace
+}  // namespace treelocal
+
+int main(int argc, char** argv) {
+  // --n=<nodes> (default 2^20), --ks=<comma list> (overrides the default
+  // pair of sweeps with a single one), --reps=<best-of> (default 3).
+  int n = 1 << 20;
+  int reps = 3;
+  std::vector<int> ks;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--n=", 0) == 0) {
+      n = std::atoi(arg.c_str() + 4);
+      if (n < 2) {
+        std::cerr << "bench_batch: --n must be an integer >= 2\n";
+        return 1;
+      }
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = std::max(1, std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--ks=", 0) == 0) {
+      ks.clear();
+      std::stringstream ss(arg.substr(5));
+      std::string item;
+      while (std::getline(ss, item, ',')) ks.push_back(std::atoi(item.c_str()));
+      if (ks.empty()) {
+        std::cerr << "bench_batch: --ks needs a comma-separated k list\n";
+        return 1;
+      }
+      for (int k : ks) {
+        if (k < 2) {
+          std::cerr << "bench_batch: every k must be >= 2\n";
+          return 1;
+        }
+      }
+    } else {
+      std::cerr << "bench_batch: unknown flag " << arg << "\n";
+      return 1;
+    }
+  }
+  treelocal::Graph tree = treelocal::UniformRandomTree(n, 31);
+  auto ids = treelocal::DefaultIds(n, 32);
+  treelocal::bench::JsonWriter json;
+  bool ok = true;
+  if (!ks.empty()) {
+    ok = treelocal::RunBatchAcceptance(tree, ids, ks, reps, json);
+  } else {
+    // Default: the classic k-ablation list (B = 8) plus the fine-grained
+    // grid (B = 32) that resolves the optimum near g(n) and gives the batch
+    // engine its widest amortization.
+    std::vector<int> classic = {2, 3, 4, 6, 8, 12, 16, 24};
+    std::vector<int> fine;
+    for (int k = 2; k <= 33; ++k) fine.push_back(k);
+    ok &= treelocal::RunBatchAcceptance(tree, ids, classic, reps, json);
+    ok &= treelocal::RunBatchAcceptance(tree, ids, fine, reps, json);
+  }
+  json.MergeAs("bench_batch", "BENCH_engine.json");
+  std::cout << "  wrote BENCH_engine.json\n";
+  return ok ? 0 : 1;
+}

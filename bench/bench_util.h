@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -14,15 +15,31 @@
 
 namespace treelocal::bench {
 
+// Polynomial ID space n^3, clamped to 2^62: the bare n^3 overflows int64_t
+// (signed UB) at n >= 2^21 — exactly the million-node sizes the engine
+// benches run. The clamp is semantically safe: any value >= the actual ID
+// upper bound works, and DefaultIds saturates its own space at <= 2^62, so
+// ids stay strictly below IdSpace(n); 2^62 also leaves headroom for the
+// id_space + 1 arithmetic downstream.
 inline int64_t IdSpace(int n) {
-  int64_t nn = std::max(n, 2);
-  return nn * nn * nn;
+  constexpr int64_t kClamp = int64_t{1} << 62;
+  const auto nn = static_cast<__int128>(std::max(n, 2));
+  const __int128 cube = nn * nn * nn;
+  return cube > kClamp ? kClamp : static_cast<int64_t>(cube);
 }
 
-// Geometric size series 2^lo .. 2^hi.
+// Geometric size series 2^lo .. 2^hi. Exponents are validated up front:
+// 1 << e is UB (and overflows int) for e >= 31, so out-of-range requests
+// fail loudly instead of returning shift garbage.
 inline std::vector<int> PowersOfTwo(int lo, int hi) {
+  if (lo < 0 || hi > 30) {
+    throw std::invalid_argument(
+        "PowersOfTwo exponents must satisfy 0 <= lo and hi <= 30");
+  }
   std::vector<int> out;
-  for (int e = lo; e <= hi; ++e) out.push_back(1 << e);
+  for (int e = lo; e <= hi; ++e) {
+    out.push_back(static_cast<int>(int64_t{1} << e));
+  }
   return out;
 }
 

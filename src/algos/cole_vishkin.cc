@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "src/local/reference_network.h"
+
 namespace treelocal {
 
 namespace {
@@ -124,19 +126,41 @@ int ColeVishkinIterations(int64_t id_space) {
   return iterations;
 }
 
-ColeVishkinResult ColeVishkin3Color(const Graph& forest,
-                                    const std::vector<int64_t>& ids,
-                                    const std::vector<int>& parent,
-                                    int64_t id_space) {
+namespace {
+
+// Shared by the optimized and reference engines (same Run/counters surface).
+template <typename Engine>
+ColeVishkinResult ColeVishkinOnEngine(const Graph& forest,
+                                      const std::vector<int64_t>& ids,
+                                      const std::vector<int>& parent,
+                                      int64_t id_space) {
   ColeVishkinResult result;
   if (forest.NumNodes() == 0) return result;
   int iterations = ColeVishkinIterations(id_space);
   CvAlgorithm alg(forest, ids, parent, iterations);
-  local::Network net(forest, ids);
+  Engine net(forest, ids);
   result.rounds = net.Run(alg, iterations + 64);
   result.messages = net.messages_delivered();
+  result.round_stats = net.round_stats();
   result.colors = alg.FinalColors();
   return result;
+}
+
+}  // namespace
+
+ColeVishkinResult ColeVishkin3Color(const Graph& forest,
+                                    const std::vector<int64_t>& ids,
+                                    const std::vector<int>& parent,
+                                    int64_t id_space) {
+  return ColeVishkinOnEngine<local::Network>(forest, ids, parent, id_space);
+}
+
+ColeVishkinResult ColeVishkin3ColorReference(const Graph& forest,
+                                             const std::vector<int64_t>& ids,
+                                             const std::vector<int>& parent,
+                                             int64_t id_space) {
+  return ColeVishkinOnEngine<local::ReferenceNetwork>(forest, ids, parent,
+                                                      id_space);
 }
 
 }  // namespace treelocal

@@ -16,6 +16,8 @@ struct ColeVishkinResult {
   std::vector<int> colors;  // in {0,1,2}
   int rounds = 0;
   int64_t messages = 0;  // engine messages delivered
+  // Per-round engine counters (parity-checked against the reference engine).
+  std::vector<local::RoundStats> round_stats;
 };
 
 // `parent[v]` is the parent node index or -1 for roots. `ids` are distinct;
@@ -26,6 +28,13 @@ ColeVishkinResult ColeVishkin3Color(const Graph& forest,
                                     const std::vector<int64_t>& ids,
                                     const std::vector<int>& parent,
                                     int64_t id_space);
+
+// Same run on the naive ReferenceNetwork; bit-identical by contract and
+// asserted so by the engine parity tests.
+ColeVishkinResult ColeVishkin3ColorReference(const Graph& forest,
+                                             const std::vector<int64_t>& ids,
+                                             const std::vector<int>& parent,
+                                             int64_t id_space);
 
 // Number of Cole-Vishkin iterations needed from an ID space of the given
 // size until colors are in {0..5} (exposed for round-bound tests).

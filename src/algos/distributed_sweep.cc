@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/local/reference_network.h"
+
 namespace treelocal {
 
 namespace {
@@ -63,10 +65,15 @@ class NodeSweepAlgorithm : public local::Algorithm {
 
 }  // namespace
 
-DistributedSweepResult RunDistributedNodeSweep(
-    const NodeProblem& problem, const Graph& g,
-    const std::vector<int64_t>& ids, const std::vector<int64_t>& colors,
-    int64_t num_colors) {
+namespace {
+
+// Shared by the optimized and reference engines (same Run/counters surface).
+template <typename Engine>
+DistributedSweepResult RunNodeSweepOnEngine(const NodeProblem& problem,
+                                            const Graph& g,
+                                            const std::vector<int64_t>& ids,
+                                            const std::vector<int64_t>& colors,
+                                            int64_t num_colors) {
   DistributedSweepResult result;
   result.labeling = HalfEdgeLabeling(g);
   if (g.NumNodes() == 0) return result;
@@ -78,11 +85,29 @@ DistributedSweepResult RunDistributedNodeSweep(
   // halves are filled in from messages. Reads of *unsent* neighbor data are
   // impossible by construction.
   NodeSweepAlgorithm alg(problem, g, colors, num_colors, result.labeling);
-  local::Network net(g, ids);
+  Engine net(g, ids);
   result.rounds = net.Run(alg, static_cast<int>(num_colors) + 2);
   result.messages = net.messages_delivered();
   result.round_stats = net.round_stats();
   return result;
+}
+
+}  // namespace
+
+DistributedSweepResult RunDistributedNodeSweep(
+    const NodeProblem& problem, const Graph& g,
+    const std::vector<int64_t>& ids, const std::vector<int64_t>& colors,
+    int64_t num_colors) {
+  return RunNodeSweepOnEngine<local::Network>(problem, g, ids, colors,
+                                              num_colors);
+}
+
+DistributedSweepResult RunDistributedNodeSweepReference(
+    const NodeProblem& problem, const Graph& g,
+    const std::vector<int64_t>& ids, const std::vector<int64_t>& colors,
+    int64_t num_colors) {
+  return RunNodeSweepOnEngine<local::ReferenceNetwork>(problem, g, ids, colors,
+                                                       num_colors);
 }
 
 }  // namespace treelocal

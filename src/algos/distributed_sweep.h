@@ -35,6 +35,13 @@ DistributedSweepResult RunDistributedNodeSweep(
     const std::vector<int64_t>& ids, const std::vector<int64_t>& colors,
     int64_t num_colors);
 
+// Same run on the naive ReferenceNetwork; bit-identical by contract and
+// asserted so by the engine parity tests.
+DistributedSweepResult RunDistributedNodeSweepReference(
+    const NodeProblem& problem, const Graph& g,
+    const std::vector<int64_t>& ids, const std::vector<int64_t>& colors,
+    int64_t num_colors);
+
 }  // namespace treelocal
 
 #endif  // TREELOCAL_ALGOS_DISTRIBUTED_SWEEP_H_

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "src/local/reference_network.h"
 #include "src/support/mathutil.h"
 
 namespace treelocal {
@@ -120,8 +121,12 @@ LinialSchedule BuildLinialSchedule(int64_t id_space, int max_degree) {
   return schedule;
 }
 
-LinialResult RunLinial(const Graph& g, const std::vector<int64_t>& ids,
-                       int64_t id_space) {
+namespace {
+
+// Shared by the optimized and reference engines (same Run/counters surface).
+template <typename Engine>
+LinialResult RunLinialOnEngine(const Graph& g, const std::vector<int64_t>& ids,
+                               int64_t id_space) {
   LinialResult result;
   if (g.NumNodes() == 0) return result;
   if (g.MaxDegree() == 0) {
@@ -134,13 +139,27 @@ LinialResult RunLinial(const Graph& g, const std::vector<int64_t>& ids,
   // schedule from id_space + 1 so every initial color is strictly below m.
   LinialSchedule schedule = BuildLinialSchedule(id_space + 1, g.MaxDegree());
   LinialAlgorithm alg(g, ids, schedule);
-  local::Network net(g, ids);
+  Engine net(g, ids);
   result.rounds =
       net.Run(alg, static_cast<int>(schedule.steps.size()) + 2);
   result.messages = net.messages_delivered();
+  result.round_stats = net.round_stats();
   result.colors = alg.colors();
   result.num_colors = schedule.final_colors;
   return result;
+}
+
+}  // namespace
+
+LinialResult RunLinial(const Graph& g, const std::vector<int64_t>& ids,
+                       int64_t id_space) {
+  return RunLinialOnEngine<local::Network>(g, ids, id_space);
+}
+
+LinialResult RunLinialReference(const Graph& g,
+                                const std::vector<int64_t>& ids,
+                                int64_t id_space) {
+  return RunLinialOnEngine<local::ReferenceNetwork>(g, ids, id_space);
 }
 
 }  // namespace treelocal

@@ -36,12 +36,20 @@ struct LinialResult {
   int64_t num_colors = 0;
   int rounds = 0;
   int64_t messages = 0;  // engine messages delivered
+  // Per-round engine counters (parity-checked against the reference engine).
+  std::vector<local::RoundStats> round_stats;
 };
 
 // Runs Linial color reduction on `g` with the given distinct IDs
 // (0 <= id < id_space required... IDs here are 1-based; internally shifted).
 LinialResult RunLinial(const Graph& g, const std::vector<int64_t>& ids,
                        int64_t id_space);
+
+// Same run on the naive ReferenceNetwork; bit-identical by contract and
+// asserted so by the engine parity tests.
+LinialResult RunLinialReference(const Graph& g,
+                                const std::vector<int64_t>& ids,
+                                int64_t id_space);
 
 }  // namespace treelocal
 

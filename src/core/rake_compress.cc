@@ -1,6 +1,8 @@
 #include "src/core/rake_compress.h"
 
+#include <algorithm>
 #include <cassert>
+#include <memory>
 #include <stdexcept>
 
 #include "src/local/network.h"
@@ -137,6 +139,58 @@ RakeCompressResult RunRakeCompress(local::Network& net, int k) {
 
 RakeCompressResult RunRakeCompress(local::ReferenceNetwork& net, int k) {
   return RunRakeCompressOnEngine(net, k);
+}
+
+std::vector<RakeCompressResult> RunRakeCompressBatch(
+    local::BatchNetwork& net, const std::vector<int>& ks) {
+  if (static_cast<int>(ks.size()) != net.batch()) {
+    throw std::invalid_argument("RunRakeCompressBatch needs one k per instance");
+  }
+  for (int k : ks) {
+    if (k < 2) throw std::invalid_argument("rake-compress requires k >= 2");
+  }
+  const Graph& tree = net.graph();
+  const int batch = net.batch();
+  std::vector<RakeCompressResult> results(batch);
+  if (tree.NumNodes() == 0) return results;
+
+  // One per-instance algorithm object (per-node state is per-instance). The
+  // engine-level round cap covers the slowest instance; each instance's own
+  // budget — what the solo path passes to Network::Run — is re-checked
+  // against its round count below so a per-instance Lemma 9 violation still
+  // fails loudly in Release.
+  std::vector<std::unique_ptr<RakeCompressAlgorithm>> algs;
+  std::vector<local::Algorithm*> alg_ptrs;
+  std::vector<int> budgets;
+  int max_rounds = 0;
+  for (int k : ks) {
+    algs.push_back(std::make_unique<RakeCompressAlgorithm>(tree, k));
+    alg_ptrs.push_back(algs.back().get());
+    int bound = RakeCompressIterationBound(tree.NumNodes(), k);
+    budgets.push_back(3 * (2 * bound + 8));
+    max_rounds = std::max(max_rounds, budgets.back());
+  }
+  std::vector<int> rounds = net.Run(alg_ptrs, max_rounds);
+  for (int b = 0; b < batch; ++b) {
+    if (rounds[b] > budgets[b]) {
+      throw std::runtime_error(
+          "rake-compress instance exceeded its own round budget");
+    }
+  }
+  for (int b = 0; b < batch; ++b) {
+    RakeCompressResult& result = results[b];
+    result.engine_rounds = rounds[b];
+    result.messages = net.messages_delivered(b);
+    result.round_stats = net.round_stats(b);
+    result.iteration = algs[b]->iteration();
+    result.compressed = algs[b]->compressed();
+    for (int v = 0; v < tree.NumNodes(); ++v) {
+      assert(result.iteration[v] > 0 && "all nodes must be marked (Lemma 9)");
+      result.num_iterations =
+          std::max(result.num_iterations, result.iteration[v]);
+    }
+  }
+  return results;
 }
 
 RakeCompressResult RunRakeCompressReference(const Graph& tree,

@@ -58,6 +58,16 @@ RakeCompressResult RunRakeCompress(local::Network& net, int k);
 // cost); used by differential tests and the engine benchmarks.
 RakeCompressResult RunRakeCompress(local::ReferenceNetwork& net, int k);
 
+// Batched form: runs ks.size() == net.batch() independent rake-compress
+// instances (instance b with parameter ks[b]) over the shared topology in
+// one engine pass. results[b] is bit-identical to RunRakeCompress(net, ks[b])
+// on a solo engine — outputs, engine_rounds, messages, and round_stats —
+// and instances finishing early drop out of the batch independently. This
+// is how the k-ablation sweep amortizes per-round dispatch over the whole
+// parameter grid.
+std::vector<RakeCompressResult> RunRakeCompressBatch(local::BatchNetwork& net,
+                                                     const std::vector<int>& ks);
+
 // Convenience form constructing the reference engine internally.
 RakeCompressResult RunRakeCompressReference(const Graph& tree,
                                             const std::vector<int64_t>& ids,

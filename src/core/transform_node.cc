@@ -1,22 +1,21 @@
 #include "src/core/transform_node.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "src/graph/algorithms.h"
 #include "src/graph/semigraph.h"
 
 namespace treelocal {
 
-Thm12Result SolveNodeProblemOnTree(const NodeProblem& problem,
-                                   const Graph& tree,
-                                   const std::vector<int64_t>& ids,
-                                   int64_t id_space, int k) {
-  Thm12Result result;
-  result.k = k;
-  result.labeling = HalfEdgeLabeling(tree);
+namespace {
 
-  // Phase 1: decomposition.
-  result.rake_compress = RunRakeCompress(tree, ids, k);
+// Phases 2-3 of the Theorem 12 pipeline, shared by the solo and batched
+// entry points: takes a finished phase-1 decomposition (already stored in
+// `result.rake_compress`) and completes the base run and the gather phase.
+void FinishNodeProblem(const NodeProblem& problem, const Graph& tree,
+                       const std::vector<int64_t>& ids, int64_t id_space,
+                       Thm12Result& result) {
   result.rounds_decomposition = result.rake_compress.engine_rounds;
 
   std::vector<char> compressed_mask(tree.NumNodes(), 0);
@@ -40,13 +39,16 @@ Thm12Result SolveNodeProblemOnTree(const NodeProblem& problem,
   // Phase 3: Algorithm 2 on T_R — gather each component at its highest node
   // (leader), solve the Pi^x instance sequentially, broadcast back. All
   // components run in parallel; the cost is 2*ecc+1 of the worst one.
-  // Leader key = (layer, ID) encoded so the paper's "highest node" wins.
+  // Leader key = dense rank of (layer, ID) so the paper's "highest node"
+  // wins; ranks (not layer * id_space + id) because the encoded form
+  // overflows int64_t for the clamped million-node ID spaces.
+  std::vector<int> by_order(tree.NumNodes());
+  for (int v = 0; v < tree.NumNodes(); ++v) by_order[v] = v;
+  std::sort(by_order.begin(), by_order.end(), [&](int x, int y) {
+    return result.rake_compress.Lower(x, y, ids);
+  });
   std::vector<int64_t> leader_key(tree.NumNodes(), 0);
-  for (int v = 0; v < tree.NumNodes(); ++v) {
-    leader_key[v] =
-        static_cast<int64_t>(result.rake_compress.Layer(v)) * (id_space + 1) +
-        ids[v];
-  }
+  for (int r = 0; r < tree.NumNodes(); ++r) leader_key[by_order[r]] = r;
   std::vector<ComponentLeader> components =
       MaskedComponentLeaders(tree, raked_mask, leader_key);
   result.num_rake_components = static_cast<int>(components.size());
@@ -69,7 +71,48 @@ Thm12Result SolveNodeProblemOnTree(const NodeProblem& problem,
   result.engine_messages =
       result.rake_compress.messages + result.base_stats.messages;
   result.valid = problem.ValidateGraph(tree, result.labeling, &result.why);
+}
+
+}  // namespace
+
+Thm12Result SolveNodeProblemOnTree(const NodeProblem& problem,
+                                   const Graph& tree,
+                                   const std::vector<int64_t>& ids,
+                                   int64_t id_space, int k) {
+  Thm12Result result;
+  result.k = k;
+  result.labeling = HalfEdgeLabeling(tree);
+
+  // Phase 1: decomposition.
+  result.rake_compress = RunRakeCompress(tree, ids, k);
+  FinishNodeProblem(problem, tree, ids, id_space, result);
   return result;
+}
+
+std::vector<Thm12Result> SolveNodeProblemOnTreeBatch(
+    const NodeProblem& problem, const Graph& tree,
+    const std::vector<int64_t>& ids, int64_t id_space,
+    const std::vector<int>& ks) {
+  std::vector<Thm12Result> results(ks.size());
+  if (ks.empty()) return results;
+
+  // Phase 1 for all k at once: one batched engine pass over the shared tree
+  // (an empty tree degenerates inside RunRakeCompressBatch, which still
+  // validates every k, matching the solo path).
+  {
+    local::BatchNetwork net(tree, ids, static_cast<int>(ks.size()));
+    std::vector<RakeCompressResult> decompositions =
+        RunRakeCompressBatch(net, ks);
+    for (size_t b = 0; b < ks.size(); ++b) {
+      results[b].rake_compress = std::move(decompositions[b]);
+    }
+  }
+  for (size_t b = 0; b < ks.size(); ++b) {
+    results[b].k = ks[b];
+    results[b].labeling = HalfEdgeLabeling(tree);
+    FinishNodeProblem(problem, tree, ids, id_space, results[b]);
+  }
+  return results;
 }
 
 }  // namespace treelocal

@@ -51,6 +51,18 @@ Thm12Result SolveNodeProblemOnTree(const NodeProblem& problem,
                                    const std::vector<int64_t>& ids,
                                    int64_t id_space, int k);
 
+// Batched k-sweep: solves the same problem instance for every k in `ks`,
+// running the engine-bound decomposition phase (phase 1) of all instances
+// as one BatchNetwork pass over the shared topology; phases 2-3 are
+// completed per instance. results[b] is identical to
+// SolveNodeProblemOnTree(problem, tree, ids, id_space, ks[b]). This is the
+// form the k-ablation sweep and multi-query serving use: per-round engine
+// dispatch is paid once for the whole sweep instead of once per k.
+std::vector<Thm12Result> SolveNodeProblemOnTreeBatch(
+    const NodeProblem& problem, const Graph& tree,
+    const std::vector<int64_t>& ids, int64_t id_space,
+    const std::vector<int>& ks);
+
 }  // namespace treelocal
 
 #endif  // TREELOCAL_CORE_TRANSFORM_NODE_H_

@@ -1,0 +1,231 @@
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+#include "src/local/network.h"
+
+namespace treelocal::local {
+
+namespace {
+
+// The batch mailboxes span gigabytes at million-node scale, and the scatter
+// pass takes one TLB fill per random destination cluster; on 4 KiB pages
+// the page walks become a bottleneck. Ask the kernel for transparent
+// hugepages (the common default THP mode is "madvise", so without this hint
+// the buffers stay on small pages). Best-effort: failure just means small
+// pages.
+void AdviseHugePages(void* data, size_t bytes) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  const auto addr = reinterpret_cast<uintptr_t>(data);
+  const uintptr_t page = 4096;
+  const uintptr_t begin = (addr + page - 1) & ~(page - 1);
+  const uintptr_t end = (addr + bytes) & ~(page - 1);
+  if (end > begin) {
+    madvise(reinterpret_cast<void*>(begin), end - begin, MADV_HUGEPAGE);
+  }
+#else
+  (void)data;
+  (void)bytes;
+#endif
+}
+
+}  // namespace
+
+BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
+                           int batch)
+    : graph_(&graph), ids_(std::move(ids)), batch_(batch) {
+  assert(static_cast<int>(ids_.size()) == graph.NumNodes());
+  if (batch < 1) {
+    throw std::invalid_argument("BatchNetwork batch must be >= 1");
+  }
+  const int n = graph.NumNodes();
+  const size_t slots =
+      2 * static_cast<size_t>(graph.NumEdges()) * static_cast<size_t>(batch);
+
+  internal::BuildChannelTables(graph, first_, send_chan_);
+
+  // Reserve first and advise hugepages before the fill faults the pages in
+  // (the hint only helps pages faulted after it).
+  stage_.reserve(slots);
+  inbox_.reserve(slots);
+  AdviseHugePages(stage_.data(), slots * sizeof(Message));
+  AdviseHugePages(inbox_.data(), slots * sizeof(Message));
+  stage_.assign(slots, Message{});
+  inbox_.assign(slots, Message{});
+  const size_t channels = 2 * static_cast<size_t>(graph.NumEdges());
+  plane_ = channels;
+  dirty_stamp_.assign(channels, -1);
+  dirty_.reserve(channels);
+  live_list_.reserve(batch);
+  halted_.assign(static_cast<size_t>(n) * batch, 0);
+  node_live_.assign(n, batch);
+  live_nodes_.assign(batch, n);
+  active_.reserve(n);
+  messages_delivered_.assign(batch, 0);
+  round_stats_.resize(batch);
+  rounds_.assign(batch, 0);
+  round_active_.assign(batch, 0);
+  sent_before_.assign(batch, 0);
+  round_live_.assign(batch, 0);
+}
+
+std::vector<int> BatchNetwork::Run(const std::vector<Algorithm*>& algs,
+                                   int max_rounds) {
+  if (static_cast<int>(algs.size()) != batch_) {
+    throw std::invalid_argument("BatchNetwork::Run needs one Algorithm per instance");
+  }
+  const int n = graph_->NumNodes();
+  const int B = batch_;
+  round_ = 0;
+  std::fill(messages_delivered_.begin(), messages_delivered_.end(), 0);
+  for (auto& stats : round_stats_) stats.clear();
+  std::fill(rounds_.begin(), rounds_.end(), 0);
+  // Same epoch scheme and wrap guards as Network::Run: advance by 2 so round
+  // 0 cannot see the previous run's stamps; re-arm once (amortized zero)
+  // when the 32-bit stamp nears the wrap, both between runs and mid-run.
+  if (epoch_ >= INT32_MAX - 4) {
+    for (auto& m : stage_) m.engine_stamp = -1;
+    for (auto& m : inbox_) m.engine_stamp = -1;
+    std::fill(dirty_stamp_.begin(), dirty_stamp_.end(), -1);
+    epoch_ = 1;
+  }
+  epoch_ += 2;
+  dirty_.clear();  // in case a previous Run threw mid-round
+  std::fill(halted_.begin(), halted_.end(), 0);
+  std::fill(node_live_.begin(), node_live_.end(), B);
+  std::fill(live_nodes_.begin(), live_nodes_.end(), n);
+  active_.resize(n);
+  std::iota(active_.begin(), active_.end(), 0);
+
+  NodeContext ctx(graph_, ids_.data(), nullptr, this, nullptr);
+  while (!active_.empty()) {
+    if (round_ >= max_rounds) {
+      throw std::runtime_error("BatchNetwork::Run exceeded max_rounds");
+    }
+    if (epoch_ >= INT32_MAX - 2) {
+      // Mid-run rebase, as in Network::Run: keep exactly this round's
+      // deliverable inbox messages visible, invalidate everything else
+      // (staged and dirty stamps included — a stale stamp equal to a
+      // future epoch would fake a send).
+      for (auto& m : stage_) m.engine_stamp = -1;
+      for (auto& m : inbox_) {
+        m.engine_stamp = m.engine_stamp == epoch_ - 1 ? 2 : -1;
+      }
+      std::fill(dirty_stamp_.begin(), dirty_stamp_.end(), -1);
+      epoch_ = 3;
+    }
+    ctx.round_ = round_;
+    for (int b = 0; b < B; ++b) {
+      round_active_[b] = 0;
+      sent_before_[b] = messages_delivered_[b];
+    }
+    const int active_now = static_cast<int>(active_.size());
+    // One pass over the shared worklist serves every live instance at each
+    // node. Per instance the OnRound order is increasing node index, exactly
+    // the solo Network::Run schedule, and instances never alias channels —
+    // so each instance's transcript is bit-identical to its solo run.
+    //
+    // The pass is cache-blocked: nodes are processed in chunks with the
+    // instance loop in the middle. Within a (chunk, instance) slice the
+    // algorithm's own node-indexed state arrays and the staging plane
+    // stream sequentially (a per-node instance loop would interleave many
+    // per-instance streams and defeat the prefetcher), and the chunk's
+    // inbox cluster lines — faulted in by the first live instance's Recv
+    // scan — stay cached for the remaining instances.
+    // Instances with no live node at round start (snapshotted in
+    // round_live_; an instance halting its last node mid-round still
+    // finishes the round via the per-node halted_ checks) skip their slices
+    // outright, so a long-tailed instance mix degrades toward solo cost.
+    // live_list_ drives the scatter: only these instances can have staged
+    // sends this round.
+    live_list_.clear();
+    for (int b = 0; b < B; ++b) {
+      round_live_[b] = live_nodes_[b] > 0;
+      if (round_live_[b]) live_list_.push_back(b);
+    }
+    constexpr int kChunk = 512;
+    for (int lo = 0; lo < active_now; lo += kChunk) {
+      const int hi = std::min(lo + kChunk, active_now);
+      for (int b = 0; b < B; ++b) {
+        if (!round_live_[b]) continue;
+        ctx.instance_ = b;
+        for (int i = lo; i < hi; ++i) {
+          const int v = active_[i];
+          if (halted_[static_cast<size_t>(v) * B + b]) continue;
+          ctx.node_ = v;
+          algs[b]->OnRound(ctx);
+          ++round_active_[b];
+        }
+      }
+    }
+    // Compact the worklist after every instance has visited every node.
+    size_t kept = 0;
+    for (int i = 0; i < active_now; ++i) {
+      const int v = active_[i];
+      active_[kept] = v;
+      kept += node_live_[v] > 0 ? 1 : 0;
+    }
+    active_.resize(kept);
+    for (int b = 0; b < B; ++b) {
+      if (round_active_[b] == 0) continue;  // instance finished earlier
+      round_stats_[b].push_back(
+          {round_active_[b], messages_delivered_[b] - sent_before_[b]});
+      // Instance b halted its last node this round: its solo run would have
+      // exited here, so its round count freezes while the batch continues.
+      if (live_nodes_[b] == 0) rounds_[b] = round_ + 1;
+    }
+    // Deliver: scatter each dirty channel's staged live-instance slots to
+    // the receiver-indexed inbox — the only random accesses of the round,
+    // each moving up to 24*B bytes and prefetched ahead so many line/TLB
+    // fills stay in flight. Copying a live instance's slot that was NOT
+    // written this round is harmless: its stamp is below this epoch, so
+    // next round's visibility check filters it — which is why whole-cluster
+    // memcpy is legal when every instance is live. O(channels written this
+    // round), not O(m).
+    {
+      const auto stride = static_cast<size_t>(B);
+      const size_t cluster_bytes = sizeof(Message) * stride;
+      const bool all_live = static_cast<int>(live_list_.size()) == B;
+      constexpr size_t kPrefetchAhead = 32;
+      const size_t dirty_count = dirty_.size();
+      for (size_t i = 0; i < dirty_count; ++i) {
+        if (i + kPrefetchAhead < dirty_count) {
+          const auto ahead =
+              static_cast<size_t>(send_chan_[dirty_[i + kPrefetchAhead]]);
+          const char* base =
+              reinterpret_cast<const char*>(&inbox_[ahead * stride]);
+          if (all_live) {
+            // A cluster spans ceil(24*B/64) lines; prefetch each one.
+            for (size_t off = 0; off < cluster_bytes; off += 64) {
+              __builtin_prefetch(base + off, 1);
+            }
+          } else {
+            for (int b : live_list_) {
+              __builtin_prefetch(base + sizeof(Message) * b, 1);
+            }
+          }
+        }
+        const auto chan = static_cast<size_t>(dirty_[i]);
+        const auto dest = static_cast<size_t>(send_chan_[chan]);
+        // Layout conversion: gather the channel's slot from each live
+        // instance's plane (the dirty list is roughly channel-ascending, so
+        // these are B interleaved sequential streams) into the contiguous
+        // inbox cluster (one random write region).
+        for (int b : live_list_) {
+          inbox_[dest * stride + b] = stage_[plane_ * b + chan];
+        }
+      }
+      dirty_.clear();
+    }
+    ++round_;
+    ++epoch_;
+  }
+  return rounds_;
+}
+
+}  // namespace treelocal::local

@@ -1,5 +1,6 @@
 #include "src/local/network.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <numeric>
@@ -9,35 +10,45 @@ namespace treelocal::local {
 
 const Message Network::kNoMessage{};
 
+namespace internal {
+
+// send_chan[first[v] + p] = CSR slot of the reverse half-edge (u -> v)
+// where u = Neighbors(v)[p] — i.e. the receiver-side inbox slot a send on
+// (v, p) must land in. Built in O(n + m) via one pass that records, per
+// edge, the CSR slots of its two half-edges.
+void BuildChannelTables(const Graph& graph, std::vector<int>& first,
+                        std::vector<int>& send_chan) {
+  const int n = graph.NumNodes();
+  first.resize(n + 1);
+  first[0] = 0;
+  for (int v = 0; v < n; ++v) first[v + 1] = first[v] + graph.Degree(v);
+
+  send_chan.resize(2 * static_cast<size_t>(graph.NumEdges()));
+  std::vector<int> slot_u(graph.NumEdges(), -1);  // first-seen slot per edge
+  for (int v = 0; v < n; ++v) {
+    auto inc = graph.IncidentEdges(v);
+    for (int p = 0; p < static_cast<int>(inc.size()); ++p) {
+      const int e = inc[p];
+      const int slot = first[v] + p;
+      if (slot_u[e] < 0) {
+        slot_u[e] = slot;
+      } else {
+        send_chan[slot] = slot_u[e];
+        send_chan[slot_u[e]] = slot;
+      }
+    }
+  }
+}
+
+}  // namespace internal
+
 Network::Network(const Graph& graph, std::vector<int64_t> ids)
     : graph_(&graph), ids_(std::move(ids)) {
   assert(static_cast<int>(ids_.size()) == graph.NumNodes());
   const int n = graph.NumNodes();
   const size_t channels = 2 * static_cast<size_t>(graph.NumEdges());
 
-  first_.resize(n + 1);
-  first_[0] = 0;
-  for (int v = 0; v < n; ++v) first_[v + 1] = first_[v] + graph.Degree(v);
-
-  // send_chan_[first_[v] + p] = CSR slot of the reverse half-edge (u -> v)
-  // where u = Neighbors(v)[p] — i.e. the receiver-side inbox slot a send on
-  // (v, p) must land in. Built in O(n + m) via one pass that records, per
-  // edge, the CSR slots of its two half-edges.
-  send_chan_.resize(channels);
-  std::vector<int> slot_u(graph.NumEdges(), -1);  // first-seen slot per edge
-  for (int v = 0; v < n; ++v) {
-    auto inc = graph.IncidentEdges(v);
-    for (int p = 0; p < static_cast<int>(inc.size()); ++p) {
-      const int e = inc[p];
-      const int slot = first_[v] + p;
-      if (slot_u[e] < 0) {
-        slot_u[e] = slot;
-      } else {
-        send_chan_[slot] = slot_u[e];
-        send_chan_[slot_u[e]] = slot;
-      }
-    }
-  }
+  internal::BuildChannelTables(graph, first_, send_chan_);
 
   inbox_.assign(channels, Message{});
   outbox_.assign(channels, Message{});
@@ -53,9 +64,14 @@ int Network::Run(Algorithm& alg, int max_rounds) {
   round_seconds_.clear();
   // Advancing by 2 leaves every stamp from the previous run strictly below
   // epoch_ - 1, so round 0 of this run cannot observe stale messages. The
-  // 32-bit stamp could wrap on a very long-lived engine (~2^31 cumulative
-  // rounds); when close, re-arm every stamp once — amortized cost zero.
-  if (epoch_ > INT32_MAX - max_rounds - 4) {
+  // 32-bit stamp wraps only after ~2^31 cumulative rounds; when the epoch
+  // nears the wrap, re-arm every stamp once — amortized cost zero. (The old
+  // guard computed INT32_MAX - max_rounds - 4, which went negative for
+  // max_rounds near INT32_MAX, re-armed on every call, and still let a
+  // post-re-arm run of ~2^31 rounds overflow the stamp mid-run; the wrap
+  // check is now independent of max_rounds, with the mid-run case handled
+  // by the per-round rebase below.)
+  if (epoch_ >= INT32_MAX - 4) {
     for (auto& m : inbox_) m.engine_stamp = -1;
     for (auto& m : outbox_) m.engine_stamp = -1;
     epoch_ = 1;
@@ -65,10 +81,20 @@ int Network::Run(Algorithm& alg, int max_rounds) {
   active_.resize(n);
   std::iota(active_.begin(), active_.end(), 0);
 
-  NodeContext ctx(graph_, ids_.data(), this, nullptr);
+  NodeContext ctx(graph_, ids_.data(), this, nullptr, nullptr);
   while (!active_.empty()) {
     if (round_ >= max_rounds) {
       throw std::runtime_error("Network::Run exceeded max_rounds");
+    }
+    if (epoch_ >= INT32_MAX - 2) {
+      // Mid-run rebase (a single run of ~2^31 rounds): keep exactly this
+      // round's deliverable messages visible, invalidate everything else.
+      // One O(2m) pass per ~2^31 rounds — amortized cost zero.
+      for (auto& m : outbox_) m.engine_stamp = -1;
+      for (auto& m : inbox_) {
+        m.engine_stamp = m.engine_stamp == epoch_ - 1 ? 2 : -1;
+      }
+      epoch_ = 3;
     }
     ctx.round_ = round_;
     std::chrono::steady_clock::time_point t0;

@@ -37,6 +37,7 @@ struct RoundStats {
 };
 
 class Network;
+class BatchNetwork;
 class ReferenceNetwork;
 
 namespace internal {
@@ -45,6 +46,12 @@ namespace internal {
 const Message& RefRecv(const ReferenceNetwork& ref, int node, int port);
 void RefSend(ReferenceNetwork& ref, int node, int port, Message m);
 void RefHalt(ReferenceNetwork& ref, int node);
+
+// Builds the receiver-indexed CSR channel tables shared by Network and
+// BatchNetwork: first[v] + p is the recv channel of (v, p), and
+// send_chan[first[v] + p] is the CSR slot of the reverse half-edge.
+void BuildChannelTables(const Graph& graph, std::vector<int>& first,
+                        std::vector<int>& send_chan);
 }  // namespace internal
 
 // Per-node view handed to Algorithm::OnRound. In the LOCAL model (Definition
@@ -52,13 +59,19 @@ void RefHalt(ReferenceNetwork& ref, int node);
 // one round of communication — the engine exposes them directly for
 // convenience, which is standard (it shifts round counts by at most 1).
 //
-// One NodeContext serves both engines: the optimized Network (inline fast
-// paths, single array loads) and the ReferenceNetwork (naive per-round
-// clears, used for differential testing). Exactly one of net_/ref_ is set;
-// the branch predicts perfectly inside a run.
+// One NodeContext serves all three engines: the optimized Network (inline
+// fast paths, single array loads), the BatchNetwork (same fast paths plus an
+// instance index into B-wide mailbox slots), and the ReferenceNetwork (naive
+// per-round clears, used for differential testing). Exactly one of
+// net_/batch_/ref_ is set; the branch predicts perfectly inside a run.
 class NodeContext {
  public:
   int node() const { return node_; }
+  // Batch-run instance index in [0, BatchNetwork::batch()); always 0 under
+  // the single-instance engines. Algorithms keeping per-instance state in
+  // one shared object may key on it; the usual pattern (one Algorithm object
+  // per instance) never needs it.
+  int instance() const { return instance_; }
   int degree() const { return graph_->Degree(node_); }
   int64_t id() const { return ids_[node_]; }
   int64_t neighbor_id(int port) const {
@@ -84,17 +97,20 @@ class NodeContext {
 
  private:
   friend class Network;
+  friend class BatchNetwork;
   friend class ReferenceNetwork;
   NodeContext(const Graph* graph, const int64_t* ids, Network* net,
-              ReferenceNetwork* ref)
-      : graph_(graph), ids_(ids), net_(net), ref_(ref) {}
+              BatchNetwork* batch, ReferenceNetwork* ref)
+      : graph_(graph), ids_(ids), net_(net), batch_(batch), ref_(ref) {}
 
   const Graph* graph_;
   const int64_t* ids_;
-  Network* net_;         // optimized engine, or null
+  Network* net_;           // optimized engine, or null
+  BatchNetwork* batch_;    // batched multi-instance engine, or null
   ReferenceNetwork* ref_;  // reference engine, or null
   int node_ = 0;
   int round_ = 0;
+  int instance_ = 0;
 };
 
 // A distributed algorithm: one object, per-node state kept by the
@@ -146,6 +162,12 @@ class Network {
   // Returns the number of rounds executed (a node halting in round r has
   // round complexity r+1 counted rounds; an algorithm that halts every node
   // in round 0 used 1 round). Throws if max_rounds is exceeded.
+  //
+  // The 32-bit epoch stamps wrap only after ~2^31 cumulative rounds; Run
+  // re-arms the mailboxes at both wrap points (before a run, and — for a
+  // single run of ~2^31 rounds — mid-run, preserving the in-flight round's
+  // messages), so any max_rounds up to INT32_MAX is safe and the amortized
+  // re-arm cost is zero.
   int Run(Algorithm& alg, int max_rounds);
 
   const Graph& graph() const { return *graph_; }
@@ -163,6 +185,11 @@ class Network {
   // benches to show per-round cost tracks active_nodes, not n.
   void set_record_round_times(bool on) { record_round_times_ = on; }
   const std::vector<double>& round_seconds() const { return round_seconds_; }
+
+  // White-box access to the epoch counter for the wrap-guard regression
+  // tests; production code never touches these.
+  int32_t epoch_for_testing() const { return epoch_; }
+  void set_epoch_for_testing(int32_t epoch) { epoch_ = epoch; }
 
  private:
   friend class NodeContext;
@@ -189,11 +216,133 @@ class Network {
   static const Message kNoMessage;
 };
 
+// Batched multi-instance engine: runs B independent Algorithm instances over
+// ONE shared topology in a single per-round pass. This amortizes the
+// per-round dispatch (worklist iteration, round bookkeeping) over B
+// instances and — the main lever — turns the engine's random 24-byte channel
+// accesses into 24*B-byte transfers: mailbox slots are widened to B-vectors
+// laid out instance-major within a channel (slot of channel c, instance b is
+// c*B + b), so one node visit serves all B instances.
+//
+// Message flow is three-step, keeping BOTH hot paths of OnRound sequential
+// (Network's Send pays a random store per message instead):
+//   * Send(v, p) stages the message at the sender's own CSR slot — a node
+//     visit's sends are contiguous — and marks the channel dirty (first
+//     write per round, sequential as well).
+//   * The round barrier scatters each dirty channel's staged live-instance
+//     slots to the receiver-indexed inbox: the ONLY random accesses of the
+//     round, each moving up to 24*B bytes in one go, software-prefetched
+//     ahead so many line/TLB fills stay in flight. O(channels written), not
+//     O(m); only live instances' slots are copied, so a long-tailed batch
+//     degrades toward solo cost instead of paying B-wide stride forever.
+//   * Recv(v, p) reads the inbox at the receiver's own CSR slot —
+//     sequential, exactly like Network.
+// The single-instance engine cannot profit from this split: its scatter
+// would move 24 bytes per random cache line, the same cost it already pays
+// on the store side. Amortizing each random line/TLB fill across B
+// instances is where the batch speedup over B sequential runs comes from.
+//
+// The per-round node pass is cache-blocked (chunks of nodes, instances as
+// the middle loop) so each algorithm's node-indexed state arrays stream
+// sequentially per instance slice instead of interleaving 3*B prefetch
+// streams.
+//
+// Batch API contract:
+//   * Instances are fully independent: instance b's transcript (outputs,
+//     per-instance round count, message count, per-round RoundStats) is
+//     bit-identical to `Network::Run(*algs[b], max_rounds)` on the same
+//     graph and IDs. Channels of different instances never alias; algorithm
+//     state lives in the caller's per-instance Algorithm objects (the usual
+//     pattern — existing Algorithm implementations run unmodified). An
+//     algorithm sharing one object across instances can key per-instance
+//     state on NodeContext::instance().
+//   * Per-instance halting: a (node, instance) pair halts independently;
+//     a node leaves the shared worklist only once it has halted in every
+//     instance, and an instance that halts all its nodes drops out of the
+//     batch (contributing no further RoundStats) while the rest continue.
+//   * `max_rounds` bounds the whole batch: the run throws when any instance
+//     is still live past it.
+//   * Reusable like Network: repeated Run calls (any batch-compatible
+//     algorithm vectors) reuse the mailboxes with no reallocation; epochs
+//     advance monotonically across runs with the same wrap guard.
+//
+// Per-round complexity: O(sum of OnRound costs over live (node, instance)
+// pairs) + O(#live nodes) for the compaction; memory is O((n + m) * B).
+class BatchNetwork {
+ public:
+  BatchNetwork(const Graph& graph, std::vector<int64_t> ids, int batch);
+
+  // Runs algs[b] as instance b (algs.size() must equal batch()) until every
+  // instance has halted every node; throws if a round would exceed
+  // `max_rounds` with any instance live. Returns per-instance executed
+  // round counts; entry b equals what Network::Run(*algs[b], ...) returns
+  // on the same graph and IDs.
+  std::vector<int> Run(const std::vector<Algorithm*>& algs, int max_rounds);
+
+  int batch() const { return batch_; }
+  const Graph& graph() const { return *graph_; }
+  const std::vector<int64_t>& ids() const { return ids_; }
+
+  // Per-instance counters for the last Run; same accounting as Network's
+  // messages_delivered() / round_stats() for instance b's solo run.
+  int64_t messages_delivered(int instance) const {
+    return messages_delivered_[instance];
+  }
+  const std::vector<RoundStats>& round_stats(int instance) const {
+    return round_stats_[instance];
+  }
+
+  // White-box epoch access for the wrap-guard regression tests.
+  int32_t epoch_for_testing() const { return epoch_; }
+  void set_epoch_for_testing(int32_t epoch) { epoch_ = epoch; }
+
+ private:
+  friend class NodeContext;
+
+  const Graph* graph_;
+  std::vector<int64_t> ids_;
+  int batch_;
+  std::vector<int> first_;      // shared CSR offsets (see Network)
+  std::vector<int> send_chan_;  // shared reverse half-edge slots
+  // B-wide mailboxes, epoch-stamped, never cleared. stage_ is the
+  // sender-indexed buffer Send writes, laid out instance-MAJOR (one
+  // contiguous plane per instance, so a cache-blocked instance slice emits
+  // purely sequential stores); inbox_ is the receiver-indexed buffer Recv
+  // reads, laid out instance-MINOR (per-channel clusters, so one scatter
+  // write moves all instances and per-node Recv scans stay sequential).
+  // The round-end scatter converts between the two layouts.
+  std::vector<Message> stage_, inbox_;
+  size_t plane_ = 0;  // stage_ plane stride == channel count
+  std::vector<int32_t> dirty_stamp_;  // per channel: epoch of last write
+  std::vector<int> dirty_;            // channels written this round
+  std::vector<int> live_list_;        // scratch: instances live this round
+  std::vector<char> halted_;          // (node, instance): v * batch_ + b
+  std::vector<int> node_live_;        // per node: # instances not halted
+  std::vector<int> live_nodes_;       // per instance: # nodes not halted
+  std::vector<int> active_;           // nodes live in >= 1 instance
+  std::vector<int64_t> messages_delivered_;          // per instance
+  std::vector<std::vector<RoundStats>> round_stats_;  // per instance
+  std::vector<int> rounds_;           // per instance, last Run's result
+  std::vector<int> round_active_;     // scratch: per-instance ran-this-round
+  std::vector<int64_t> sent_before_;  // scratch: per-instance sent watermark
+  std::vector<char> round_live_;      // scratch: live-at-round-start flags
+  int32_t epoch_ = 1;  // same monotone/wrap-guarded scheme as Network
+  int round_ = 0;
+};
+
 inline const Message& NodeContext::Recv(int port) const {
   if (net_ != nullptr) [[likely]] {
     const auto c = static_cast<size_t>(net_->first_[node_] + port);
     const Message& s = net_->inbox_[c];
     return s.engine_stamp + 1 == net_->epoch_ ? s : Network::kNoMessage;
+  }
+  if (batch_ != nullptr) [[likely]] {
+    // Receiver-indexed and sequential, exactly like the solo engine: the
+    // scatter already moved last round's sends here.
+    const auto c = static_cast<size_t>(batch_->first_[node_] + port);
+    const Message& s =
+        batch_->inbox_[c * static_cast<size_t>(batch_->batch_) + instance_];
+    return s.engine_stamp + 1 == batch_->epoch_ ? s : Network::kNoMessage;
   }
   return internal::RefRecv(*ref_, node_, port);
 }
@@ -213,6 +362,28 @@ inline void NodeContext::Send(int port, Message m) {
     net_->messages_delivered_ += m.present();
     return;
   }
+  if (batch_ != nullptr) [[likely]] {
+    // Stage at the sender's own CSR slot in this instance's plane —
+    // sequential within a node visit, no random access on the send path at
+    // all — and mark the channel dirty for the round-end scatter (also
+    // sequential).
+    const int chan = batch_->first_[node_] + port;
+    Message& s =
+        batch_->stage_[batch_->plane_ * static_cast<size_t>(instance_) +
+                       static_cast<size_t>(chan)];
+    const int32_t stamp = batch_->epoch_;
+    if (s.engine_stamp == stamp) {
+      batch_->messages_delivered_[instance_] -= s.present();
+    }
+    s = m;
+    s.engine_stamp = stamp;
+    batch_->messages_delivered_[instance_] += m.present();
+    if (batch_->dirty_stamp_[chan] != stamp) {
+      batch_->dirty_stamp_[chan] = stamp;
+      batch_->dirty_.push_back(chan);
+    }
+    return;
+  }
   internal::RefSend(*ref_, node_, port, m);
 }
 
@@ -224,6 +395,17 @@ inline void NodeContext::Broadcast(Message m) {
 inline void NodeContext::Halt() {
   if (net_ != nullptr) [[likely]] {
     net_->halted_[node_] = 1;  // worklist compaction happens after OnRound
+    return;
+  }
+  if (batch_ != nullptr) [[likely]] {
+    char& h = batch_->halted_[static_cast<size_t>(node_) *
+                                  static_cast<size_t>(batch_->batch_) +
+                              instance_];
+    if (!h) {
+      h = 1;
+      --batch_->node_live_[node_];
+      --batch_->live_nodes_[instance_];
+    }
     return;
   }
   internal::RefHalt(*ref_, node_);

@@ -178,5 +178,67 @@ TEST(NetworkTest, ContextExposesModelKnowledge) {
   EXPECT_EQ(alg.deg, 6);
 }
 
+// Regression for the epoch wrap guard: with the epoch stamped to just below
+// INT32_MAX, a Run must re-arm the mailboxes once and still deliver messages
+// correctly (the old 32-bit guard `INT32_MAX - max_rounds - 4` went negative
+// for max_rounds near INT32_MAX, and after a re-arm a maximal run could push
+// the stamp past INT32_MAX mid-run).
+TEST(NetworkTest, EpochNearWrapRearmsAndStaysCorrect) {
+  const int n = 64;
+  Graph g = UniformRandomTree(n, 5);
+  auto ids = DefaultIds(n, 6);
+
+  // Ground truth from a fresh engine.
+  Network fresh(g, ids);
+  CollectNeighborIds expect(n);
+  int expect_rounds = fresh.Run(expect, 10);
+
+  Network net(g, ids);
+  // Dirty the mailboxes with real payloads first, then push the epoch to the
+  // brink: the run crosses the wrap threshold mid-run, so the per-round
+  // rebase must fire — preserving the in-flight round's messages while none
+  // of the stale payloads (stamps far below the epoch) leak.
+  CollectNeighborIds warm(n);
+  net.Run(warm, 10);
+  net.set_epoch_for_testing(INT32_MAX - 5);
+  CollectNeighborIds alg(n);
+  EXPECT_EQ(net.Run(alg, 10), expect_rounds);
+  EXPECT_EQ(alg.collected_, expect.collected_);
+  EXPECT_EQ(net.messages_delivered(), fresh.messages_delivered());
+  // Re-armed: the epoch restarted near 1 instead of marching past the
+  // brink. The invariant is max_rounds-independent: the pre-run guard
+  // re-arms at INT32_MAX - 4, and the per-round rebase fires at
+  // INT32_MAX - 2, so a live stamp never exceeds INT32_MAX - 3.
+  EXPECT_LT(net.epoch_for_testing(), 100);
+}
+
+// A huge max_rounds must neither trip the guard into re-arming on every call
+// (the old negative-threshold bug) nor be able to overflow the stamp: the
+// wrap checks are independent of max_rounds.
+TEST(NetworkTest, HugeMaxRoundsIsSafe) {
+  const int n = 32;
+  Graph g = UniformRandomTree(n, 7);
+  auto ids = DefaultIds(n, 8);
+  Network net(g, ids);
+
+  CollectNeighborIds a1(n);
+  net.Run(a1, INT32_MAX);
+  const int32_t epoch_after_first = net.epoch_for_testing();
+  CollectNeighborIds a2(n);
+  net.Run(a2, INT32_MAX);
+  // Epochs advance monotonically across runs (no spurious re-arm resetting
+  // them to 1 every call), and the transcripts stay correct.
+  EXPECT_GT(net.epoch_for_testing(), epoch_after_first);
+  EXPECT_EQ(a1.collected_, a2.collected_);
+
+  // From an epoch where a full-length clamped run would overflow, the guard
+  // must re-arm first; afterwards a run is still correct.
+  net.set_epoch_for_testing(INT32_MAX - 1);
+  CollectNeighborIds a3(n);
+  net.Run(a3, INT32_MAX);
+  EXPECT_EQ(a3.collected_, a1.collected_);
+  EXPECT_LT(net.epoch_for_testing(), 100);
+}
+
 }  // namespace
 }  // namespace treelocal

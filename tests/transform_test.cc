@@ -275,6 +275,43 @@ TEST(TransformDeterminism, Thm12SameInputsSameTranscript) {
   }
 }
 
+// The batched k-sweep entry point must match the solo pipeline per k, field
+// for field — it is what bench_k_ablation's Thm12 sweep routes through.
+TEST(TransformDeterminism, Thm12BatchMatchesSoloPerK) {
+  Graph tree = UniformRandomTree(350, 25);
+  auto ids = DefaultIds(350, 26);
+  MisProblem mis;
+  const std::vector<int> ks = {2, 3, 4, 8, 16, 64};
+  auto batched = SolveNodeProblemOnTreeBatch(mis, tree, ids, IdSpace(350), ks);
+  ASSERT_EQ(batched.size(), ks.size());
+  for (size_t b = 0; b < ks.size(); ++b) {
+    auto solo = SolveNodeProblemOnTree(mis, tree, ids, IdSpace(350), ks[b]);
+    EXPECT_EQ(batched[b].k, solo.k);
+    EXPECT_TRUE(batched[b].valid);
+    EXPECT_EQ(batched[b].rounds_total, solo.rounds_total);
+    EXPECT_EQ(batched[b].rounds_decomposition, solo.rounds_decomposition);
+    EXPECT_EQ(batched[b].rounds_base, solo.rounds_base);
+    EXPECT_EQ(batched[b].rounds_gather, solo.rounds_gather);
+    EXPECT_EQ(batched[b].engine_messages, solo.engine_messages);
+    EXPECT_EQ(batched[b].rake_compress.iteration, solo.rake_compress.iteration);
+    EXPECT_EQ(batched[b].rake_compress.compressed,
+              solo.rake_compress.compressed);
+    EXPECT_EQ(batched[b].rake_compress.round_stats,
+              solo.rake_compress.round_stats);
+    for (int e = 0; e < tree.NumEdges(); ++e) {
+      ASSERT_EQ(batched[b].labeling.GetSlot(e, 0), solo.labeling.GetSlot(e, 0));
+      ASSERT_EQ(batched[b].labeling.GetSlot(e, 1), solo.labeling.GetSlot(e, 1));
+    }
+  }
+  // Empty inputs: no ks is a no-op; an empty tree still validates ks.
+  EXPECT_TRUE(
+      SolveNodeProblemOnTreeBatch(mis, tree, ids, IdSpace(350), {}).empty());
+  Graph empty = Graph::FromEdges(0, {});
+  EXPECT_THROW(SolveNodeProblemOnTreeBatch(mis, empty, {}, 8, {1}),
+               std::invalid_argument);
+  EXPECT_EQ(SolveNodeProblemOnTreeBatch(mis, empty, {}, 8, {2, 4}).size(), 2u);
+}
+
 TEST(TransformDeterminism, Thm15SameInputsSameTranscript) {
   Graph g = ForestUnion(300, 2, 23);
   auto ids = DefaultIds(300, 24);
