@@ -6,6 +6,7 @@
 #include "bench/bench_util.h"
 #include "src/core/decomposition.h"
 #include "src/core/forest_split.h"
+#include "src/local/network.h"
 #include "src/graph/generators.h"
 #include "src/graph/subgraph.h"
 #include "src/graph/algorithms.h"
@@ -45,11 +46,19 @@ void Run() {
     }
   }
 
+  bench::JsonWriter json;
   for (const Workload& w : workloads) {
     for (int mult : {1, 4}) {
       int k = 5 * w.a * mult;
       auto ids = DefaultIds(w.graph.NumNodes(), 11);
-      auto result = RunDecomposition(w.graph, ids, w.a, 2 * w.a, k);
+      // Explicit engine so the decomposition's engine trajectory (active
+      // counts, message volume, per-round wall-clock) lands in
+      // BENCH_engine.json like the other drivers'.
+      local::Network net(w.graph, ids);
+      bench::EngineTimingRecorder::Arm(net);
+      auto result = RunDecomposition(net, w.a, 2 * w.a, k);
+      std::vector<double> round_seconds =
+          bench::EngineTimingRecorder::Capture(net);
 
       std::vector<int> typ_deg(w.graph.NumNodes(), 0);
       std::vector<int> atyp_out(w.graph.NumNodes(), 0);
@@ -92,11 +101,33 @@ void Run() {
            Table::Num(max_typ), Table::Num(k), Table::Num(max_atyp),
            Table::Num(2 * w.a), stars_ok ? "yes" : "NO",
            Table::Num(result.engine_rounds)});
+
+      // Machine-readable engine trajectory for this decomposition run.
+      std::vector<int64_t> active, sent;
+      for (const auto& rs : result.round_stats) {
+        active.push_back(rs.active_nodes);
+        sent.push_back(rs.messages_sent);
+      }
+      json.BeginRecord();
+      json.Field("source", "bench_decomposition");
+      json.Field("experiment", "decomposition_trajectory");
+      json.Field("graph", w.name);
+      json.Field("n", w.graph.NumNodes());
+      json.Field("edges", w.graph.NumEdges());
+      json.Field("a", w.a);
+      json.Field("k", k);
+      json.Field("layers", result.num_layers);
+      json.Field("rounds", result.engine_rounds);
+      json.Field("messages", result.messages);
+      json.Field("round_active_nodes", active);
+      json.Field("round_messages", sent);
+      json.Field("round_seconds", round_seconds);
     }
   }
   table.Print("E4-E5: Algorithm 3 decomposition vs Lemmas 13/14 bounds");
   table.WriteCsv("bench_decomposition");
   table.WriteJson("bench_decomposition");
+  json.MergeAs("bench_decomposition", "BENCH_engine.json");
 }
 
 }  // namespace

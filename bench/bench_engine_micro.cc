@@ -159,7 +159,9 @@ bool MeasureRakeCompress(const std::string& family, const Graph& tree,
   // Run is reallocation-free by design; the reference engine refills its
   // mailboxes but reuses the buffers), so min-of-N measures round
   // throughput, not allocator or page-fault traffic. One shared protocol
-  // (warmup + best-of-kReps) so the two sides can never diverge.
+  // (warmup + best-of-kReps) so the two sides can never diverge. Round
+  // timing goes through the shared EngineTimingRecorder: engines without
+  // the timing surface yield an empty trajectory.
   auto measure = [&](auto& engine, RakeCompressResult& out,
                      std::vector<double>* round_s) {
     RunRakeCompress(engine, k);  // warmup: faults in the mailboxes
@@ -171,8 +173,8 @@ bool MeasureRakeCompress(const std::string& family, const Graph& tree,
       if (s < best) {
         best = s;
         out = std::move(r);
-        if constexpr (requires { engine.round_seconds(); }) {
-          if (round_s != nullptr) *round_s = engine.round_seconds();
+        if (round_s != nullptr) {
+          *round_s = bench::EngineTimingRecorder::Capture(engine);
         }
       }
     }
@@ -180,7 +182,7 @@ bool MeasureRakeCompress(const std::string& family, const Graph& tree,
   };
 
   local::Network net(tree, ids);
-  net.set_record_round_times(true);
+  bench::EngineTimingRecorder::Arm(net);
   RakeCompressResult fast;
   std::vector<double> fast_round_s;
   double fast_s = measure(net, fast, &fast_round_s);

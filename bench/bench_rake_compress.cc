@@ -6,6 +6,7 @@
 #include "bench/bench_util.h"
 #include "src/core/rake_compress.h"
 #include "src/graph/algorithms.h"
+#include "src/local/network.h"
 #include "src/graph/generators.h"
 #include "src/support/mathutil.h"
 #include "src/support/rng.h"
@@ -26,7 +27,14 @@ void Run() {
       for (int k : {2, 4, 16}) {
         Graph tree = MakeTree(family, n, 42);
         auto ids = DefaultIds(tree.NumNodes(), 43);
-        auto result = RunRakeCompress(tree, ids, k);
+        // Explicit engine so the per-round wall-clock trajectory rides
+        // along with the active-count curve (EngineTimingRecorder is the
+        // shared arming/capture path of all drivers).
+        local::Network net(tree, ids);
+        bench::EngineTimingRecorder::Arm(net);
+        auto result = RunRakeCompress(net, k);
+        std::vector<double> round_seconds =
+            bench::EngineTimingRecorder::Capture(net);
 
         // Lemma 10 observable: degree of T_C's underlying graph.
         std::vector<int> c_degree(tree.NumNodes(), 0);
@@ -77,6 +85,7 @@ void Run() {
         json.Field("messages", result.messages);
         json.Field("round_active_nodes", active);
         json.Field("round_messages", sent);
+        json.Field("round_seconds", round_seconds);
       }
     }
   }

@@ -8,8 +8,10 @@
 #include "bench/bench_util.h"
 #include "src/core/baseline.h"
 #include "src/core/complexity.h"
+#include "src/core/rake_compress.h"
 #include "src/core/transform_node.h"
 #include "src/graph/generators.h"
+#include "src/local/network.h"
 #include "src/problems/coloring.h"
 #include "src/problems/mis.h"
 #include "src/support/rng.h"
@@ -18,10 +20,13 @@
 namespace treelocal {
 namespace {
 
-void RunProblem(const NodeProblem& problem, const std::string& title,
-                const std::string& csv) {
+// Returns false if any re-timed decomposition trajectory failed to
+// reproduce the pipeline's (a determinism bug); main fails the run on it.
+bool RunProblem(const NodeProblem& problem, const std::string& title,
+                const std::string& csv, bench::JsonWriter& json) {
   Table table({"family", "n", "Delta", "k=g(n)", "rounds", "decomp", "base",
                "gather", "baselineRounds", "logn/loglogn", "valid"});
+  bool all_reproduced = true;
   for (TreeFamily family :
        {TreeFamily::kUniform, TreeFamily::kBalanced3, TreeFamily::kRecursive}) {
     for (int n : bench::PowersOfTwo(10, 18)) {
@@ -45,26 +50,73 @@ void RunProblem(const NodeProblem& problem, const std::string& title,
            Table::Num(baseline.rounds_total),
            Table::Num(BarrierLogOverLogLog(tree.NumNodes()), 1),
            (transformed.valid && baseline.valid) ? "yes" : "NO"});
+
+      // Per-phase engine trajectory. Phase 1 dominates the engine cost and
+      // carries a full round trajectory; a separate timed engine run
+      // (rake-compress is deterministic, so its transcript must equal the
+      // one SolveNodeProblemOnTree just produced — checked below and
+      // gated via the exit code) supplies the wall-clock curve. Phases
+      // 2-3 contribute scalar round/message costs: the base phase's
+      // engine work is folded into accounted helpers and the gather is
+      // analytic, so neither has a per-round curve to emit.
+      local::Network net(tree, ids);
+      bench::EngineTimingRecorder::Arm(net);
+      RakeCompressResult timed = RunRakeCompress(net, k);
+      std::vector<double> decomp_seconds =
+          bench::EngineTimingRecorder::Capture(net);
+      std::vector<int64_t> active, sent;
+      for (const auto& rs : transformed.rake_compress.round_stats) {
+        active.push_back(rs.active_nodes);
+        sent.push_back(rs.messages_sent);
+      }
+      const bool trajectory_matches =
+          timed.round_stats == transformed.rake_compress.round_stats;
+      all_reproduced &= trajectory_matches;
+
+      json.BeginRecord();
+      json.Field("source", "bench_thm12_node");
+      json.Field("experiment", csv);
+      json.Field("family", TreeFamilyName(family));
+      json.Field("n", tree.NumNodes());
+      json.Field("k", k);
+      json.Field("rounds_total", transformed.rounds_total);
+      json.Field("rounds_decomposition", transformed.rounds_decomposition);
+      json.Field("rounds_base", transformed.rounds_base);
+      json.Field("rounds_gather", transformed.rounds_gather);
+      json.Field("engine_messages", transformed.engine_messages);
+      json.Field("base_linial_rounds", transformed.base_stats.linial_rounds);
+      json.Field("base_messages", transformed.base_stats.messages);
+      json.Field("decomp_round_active_nodes", active);
+      json.Field("decomp_round_messages", sent);
+      json.Field("decomp_round_seconds", decomp_seconds);
+      json.Field("decomp_trajectory_reproduced", trajectory_matches);
     }
   }
   table.Print(title);
   table.WriteCsv(csv);
   table.WriteJson(csv);
+  return all_reproduced;
 }
 
 }  // namespace
 }  // namespace treelocal
 
 int main() {
+  treelocal::bench::JsonWriter json;
   treelocal::MisProblem mis;
-  treelocal::RunProblem(
+  bool ok = treelocal::RunProblem(
       mis, "E6a: Theorem 12 on MIS (transformed vs direct base algorithm)",
-      "bench_thm12_mis");
+      "bench_thm12_mis", json);
   treelocal::ColoringProblem coloring(
       treelocal::ColoringProblem::Mode::kDegPlusOne, 0);
-  treelocal::RunProblem(
+  ok &= treelocal::RunProblem(
       coloring,
       "E6b: Theorem 12 on (deg+1)-coloring (transformed vs direct)",
-      "bench_thm12_coloring");
-  return 0;
+      "bench_thm12_coloring", json);
+  json.MergeAs("bench_thm12_node", "BENCH_engine.json");
+  if (!ok) {
+    std::cerr << "bench_thm12_node: decomposition trajectory failed to "
+                 "reproduce (determinism bug)\n";
+  }
+  return ok ? 0 : 1;
 }

@@ -43,6 +43,32 @@ inline std::vector<int> PowersOfTwo(int lo, int hi) {
   return out;
 }
 
+// Uniform opt-in per-round wall-clock timing across the engine family, so
+// every driver records round trajectories identically instead of probing
+// `requires { engine.round_seconds(); }` ad hoc. Engines exposing the
+// timing surface (Network, ParallelNetwork) are armed and read back;
+// engines without it (ReferenceNetwork, BatchNetwork) arm to a no-op and
+// capture an empty trajectory — callers emit what they got and the JSON
+// consumers treat an empty round_seconds as "engine does not time rounds".
+class EngineTimingRecorder {
+ public:
+  template <typename Engine>
+  static void Arm(Engine& engine) {
+    if constexpr (requires { engine.set_record_round_times(true); }) {
+      engine.set_record_round_times(true);
+    }
+  }
+
+  template <typename Engine>
+  static std::vector<double> Capture(const Engine& engine) {
+    if constexpr (requires { engine.round_seconds(); }) {
+      return engine.round_seconds();
+    } else {
+      return {};
+    }
+  }
+};
+
 // Minimal JSON results writer: a flat array of records, each a flat object
 // (scalars plus numeric arrays for per-round trajectories). The perf
 // trajectory files (BENCH_engine.json, BENCH_*.json) are built with this so

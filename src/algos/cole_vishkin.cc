@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "src/local/parallel_network.h"
 #include "src/local/reference_network.h"
 
 namespace treelocal {
@@ -128,9 +129,10 @@ int ColeVishkinIterations(int64_t id_space) {
 
 namespace {
 
-// Shared by the optimized and reference engines (same Run/counters surface).
+// Shared by every engine (same Run/counters surface); the caller owns the
+// engine so the sharded form can carry its thread count.
 template <typename Engine>
-ColeVishkinResult ColeVishkinOnEngine(const Graph& forest,
+ColeVishkinResult ColeVishkinOnEngine(Engine& net, const Graph& forest,
                                       const std::vector<int64_t>& ids,
                                       const std::vector<int>& parent,
                                       int64_t id_space) {
@@ -138,7 +140,6 @@ ColeVishkinResult ColeVishkinOnEngine(const Graph& forest,
   if (forest.NumNodes() == 0) return result;
   int iterations = ColeVishkinIterations(id_space);
   CvAlgorithm alg(forest, ids, parent, iterations);
-  Engine net(forest, ids);
   result.rounds = net.Run(alg, iterations + 64);
   result.messages = net.messages_delivered();
   result.round_stats = net.round_stats();
@@ -152,15 +153,25 @@ ColeVishkinResult ColeVishkin3Color(const Graph& forest,
                                     const std::vector<int64_t>& ids,
                                     const std::vector<int>& parent,
                                     int64_t id_space) {
-  return ColeVishkinOnEngine<local::Network>(forest, ids, parent, id_space);
+  local::Network net(forest, ids);
+  return ColeVishkinOnEngine(net, forest, ids, parent, id_space);
+}
+
+ColeVishkinResult ColeVishkin3ColorParallel(const Graph& forest,
+                                            const std::vector<int64_t>& ids,
+                                            const std::vector<int>& parent,
+                                            int64_t id_space,
+                                            int num_threads) {
+  local::ParallelNetwork net(forest, ids, num_threads);
+  return ColeVishkinOnEngine(net, forest, ids, parent, id_space);
 }
 
 ColeVishkinResult ColeVishkin3ColorReference(const Graph& forest,
                                              const std::vector<int64_t>& ids,
                                              const std::vector<int>& parent,
                                              int64_t id_space) {
-  return ColeVishkinOnEngine<local::ReferenceNetwork>(forest, ids, parent,
-                                                      id_space);
+  local::ReferenceNetwork net(forest, ids);
+  return ColeVishkinOnEngine(net, forest, ids, parent, id_space);
 }
 
 }  // namespace treelocal

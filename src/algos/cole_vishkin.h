@@ -29,6 +29,13 @@ ColeVishkinResult ColeVishkin3Color(const Graph& forest,
                                     const std::vector<int>& parent,
                                     int64_t id_space);
 
+// Same run on a ParallelNetwork with `num_threads` lanes; bit-identical to
+// ColeVishkin3Color for every thread count (engine parity tests).
+ColeVishkinResult ColeVishkin3ColorParallel(const Graph& forest,
+                                            const std::vector<int64_t>& ids,
+                                            const std::vector<int>& parent,
+                                            int64_t id_space, int num_threads);
+
 // Same run on the naive ReferenceNetwork; bit-identical by contract and
 // asserted so by the engine parity tests.
 ColeVishkinResult ColeVishkin3ColorReference(const Graph& forest,

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/local/parallel_network.h"
 #include "src/local/reference_network.h"
 
 namespace treelocal {
@@ -67,9 +68,11 @@ class NodeSweepAlgorithm : public local::Algorithm {
 
 namespace {
 
-// Shared by the optimized and reference engines (same Run/counters surface).
+// Shared by every engine (same Run/counters surface); the caller owns the
+// engine so the sharded form can carry its thread count.
 template <typename Engine>
-DistributedSweepResult RunNodeSweepOnEngine(const NodeProblem& problem,
+DistributedSweepResult RunNodeSweepOnEngine(Engine& net,
+                                            const NodeProblem& problem,
                                             const Graph& g,
                                             const std::vector<int64_t>& ids,
                                             const std::vector<int64_t>& colors,
@@ -85,7 +88,6 @@ DistributedSweepResult RunNodeSweepOnEngine(const NodeProblem& problem,
   // halves are filled in from messages. Reads of *unsent* neighbor data are
   // impossible by construction.
   NodeSweepAlgorithm alg(problem, g, colors, num_colors, result.labeling);
-  Engine net(g, ids);
   result.rounds = net.Run(alg, static_cast<int>(num_colors) + 2);
   result.messages = net.messages_delivered();
   result.round_stats = net.round_stats();
@@ -98,16 +100,24 @@ DistributedSweepResult RunDistributedNodeSweep(
     const NodeProblem& problem, const Graph& g,
     const std::vector<int64_t>& ids, const std::vector<int64_t>& colors,
     int64_t num_colors) {
-  return RunNodeSweepOnEngine<local::Network>(problem, g, ids, colors,
-                                              num_colors);
+  local::Network net(g, ids);
+  return RunNodeSweepOnEngine(net, problem, g, ids, colors, num_colors);
+}
+
+DistributedSweepResult RunDistributedNodeSweepParallel(
+    const NodeProblem& problem, const Graph& g,
+    const std::vector<int64_t>& ids, const std::vector<int64_t>& colors,
+    int64_t num_colors, int num_threads) {
+  local::ParallelNetwork net(g, ids, num_threads);
+  return RunNodeSweepOnEngine(net, problem, g, ids, colors, num_colors);
 }
 
 DistributedSweepResult RunDistributedNodeSweepReference(
     const NodeProblem& problem, const Graph& g,
     const std::vector<int64_t>& ids, const std::vector<int64_t>& colors,
     int64_t num_colors) {
-  return RunNodeSweepOnEngine<local::ReferenceNetwork>(problem, g, ids, colors,
-                                                       num_colors);
+  local::ReferenceNetwork net(g, ids);
+  return RunNodeSweepOnEngine(net, problem, g, ids, colors, num_colors);
 }
 
 }  // namespace treelocal

@@ -35,6 +35,13 @@ DistributedSweepResult RunDistributedNodeSweep(
     const std::vector<int64_t>& ids, const std::vector<int64_t>& colors,
     int64_t num_colors);
 
+// Same run on a ParallelNetwork with `num_threads` lanes; bit-identical to
+// RunDistributedNodeSweep for every thread count (engine parity tests).
+DistributedSweepResult RunDistributedNodeSweepParallel(
+    const NodeProblem& problem, const Graph& g,
+    const std::vector<int64_t>& ids, const std::vector<int64_t>& colors,
+    int64_t num_colors, int num_threads);
+
 // Same run on the naive ReferenceNetwork; bit-identical by contract and
 // asserted so by the engine parity tests.
 DistributedSweepResult RunDistributedNodeSweepReference(

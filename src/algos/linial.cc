@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "src/local/parallel_network.h"
 #include "src/local/reference_network.h"
 #include "src/support/mathutil.h"
 
@@ -123,9 +124,11 @@ LinialSchedule BuildLinialSchedule(int64_t id_space, int max_degree) {
 
 namespace {
 
-// Shared by the optimized and reference engines (same Run/counters surface).
+// Shared by every engine (same Run/counters surface); the caller owns the
+// engine so the sharded form can carry its thread count.
 template <typename Engine>
-LinialResult RunLinialOnEngine(const Graph& g, const std::vector<int64_t>& ids,
+LinialResult RunLinialOnEngine(Engine& net, const Graph& g,
+                               const std::vector<int64_t>& ids,
                                int64_t id_space) {
   LinialResult result;
   if (g.NumNodes() == 0) return result;
@@ -139,7 +142,6 @@ LinialResult RunLinialOnEngine(const Graph& g, const std::vector<int64_t>& ids,
   // schedule from id_space + 1 so every initial color is strictly below m.
   LinialSchedule schedule = BuildLinialSchedule(id_space + 1, g.MaxDegree());
   LinialAlgorithm alg(g, ids, schedule);
-  Engine net(g, ids);
   result.rounds =
       net.Run(alg, static_cast<int>(schedule.steps.size()) + 2);
   result.messages = net.messages_delivered();
@@ -153,13 +155,21 @@ LinialResult RunLinialOnEngine(const Graph& g, const std::vector<int64_t>& ids,
 
 LinialResult RunLinial(const Graph& g, const std::vector<int64_t>& ids,
                        int64_t id_space) {
-  return RunLinialOnEngine<local::Network>(g, ids, id_space);
+  local::Network net(g, ids);
+  return RunLinialOnEngine(net, g, ids, id_space);
+}
+
+LinialResult RunLinialParallel(const Graph& g, const std::vector<int64_t>& ids,
+                               int64_t id_space, int num_threads) {
+  local::ParallelNetwork net(g, ids, num_threads);
+  return RunLinialOnEngine(net, g, ids, id_space);
 }
 
 LinialResult RunLinialReference(const Graph& g,
                                 const std::vector<int64_t>& ids,
                                 int64_t id_space) {
-  return RunLinialOnEngine<local::ReferenceNetwork>(g, ids, id_space);
+  local::ReferenceNetwork net(g, ids);
+  return RunLinialOnEngine(net, g, ids, id_space);
 }
 
 }  // namespace treelocal

@@ -45,6 +45,11 @@ struct LinialResult {
 LinialResult RunLinial(const Graph& g, const std::vector<int64_t>& ids,
                        int64_t id_space);
 
+// Same run on a ParallelNetwork with `num_threads` lanes; bit-identical to
+// RunLinial for every thread count (asserted by the engine parity tests).
+LinialResult RunLinialParallel(const Graph& g, const std::vector<int64_t>& ids,
+                               int64_t id_space, int num_threads);
+
 // Same run on the naive ReferenceNetwork; bit-identical by contract and
 // asserted so by the engine parity tests.
 LinialResult RunLinialReference(const Graph& g,

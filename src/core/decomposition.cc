@@ -73,14 +73,21 @@ int DecompositionIterationBound(int64_t n, int a, int k) {
 DecompositionResult RunDecomposition(const Graph& g,
                                      const std::vector<int64_t>& ids, int a,
                                      int b, int k) {
+  local::Network net(g, ids);  // constructs fine for 0 nodes
+  return RunDecomposition(net, a, b, k);
+}
+
+DecompositionResult RunDecomposition(local::Network& net, int a, int b,
+                                     int k) {
   if (a < 1) throw std::invalid_argument("arboricity must be >= 1");
   if (b <= a) throw std::invalid_argument("need b > a");
   if (k < 5 * a) throw std::invalid_argument("need k >= 5a");
+  const Graph& g = net.graph();
+  const std::vector<int64_t>& ids = net.ids();
   DecompositionResult result;
   if (g.NumNodes() == 0) return result;
 
   DecompositionAlgorithm alg(g, b, k);
-  local::Network net(g, ids);
   int bound = DecompositionIterationBound(g.NumNodes(), a, k);
   result.engine_rounds = net.Run(alg, 2 * (2 * bound + 8));
   result.messages = net.messages_delivered();

@@ -48,6 +48,11 @@ DecompositionResult RunDecomposition(const Graph& g,
                                      const std::vector<int64_t>& ids, int a,
                                      int b, int k);
 
+// Same process on a caller-owned engine (net.graph(), net.ids()). Lets the
+// bench drivers reuse mailboxes across calls and opt into per-round timing
+// (set_record_round_times) before the run.
+DecompositionResult RunDecomposition(local::Network& net, int a, int b, int k);
+
 // Lemma 13 bound on the number of iterations.
 int DecompositionIterationBound(int64_t n, int a, int k);
 

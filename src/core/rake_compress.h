@@ -54,6 +54,10 @@ RakeCompressResult RunRakeCompress(const Graph& tree,
 // form the throughput benches use.
 RakeCompressResult RunRakeCompress(local::Network& net, int k);
 
+// Same process on a caller-owned sharded engine; bit-identical to the solo
+// run for every thread count (the ParallelNetwork determinism contract).
+RakeCompressResult RunRakeCompress(local::ParallelNetwork& net, int k);
+
 // Same process on a caller-owned naive reference engine (per-round O(n + m)
 // cost); used by differential tests and the engine benchmarks.
 RakeCompressResult RunRakeCompress(local::ReferenceNetwork& net, int k);

@@ -5,6 +5,7 @@
 
 #include "src/graph/algorithms.h"
 #include "src/graph/semigraph.h"
+#include "src/local/parallel_network.h"
 
 namespace treelocal {
 
@@ -89,18 +90,39 @@ Thm12Result SolveNodeProblemOnTree(const NodeProblem& problem,
   return result;
 }
 
+Thm12Result SolveNodeProblemOnTreeParallel(const NodeProblem& problem,
+                                           const Graph& tree,
+                                           const std::vector<int64_t>& ids,
+                                           int64_t id_space, int k,
+                                           int num_threads) {
+  Thm12Result result;
+  result.k = k;
+  result.labeling = HalfEdgeLabeling(tree);
+
+  // Phase 1 on the sharded engine; phases 2-3 are shared verbatim with the
+  // solo path, so any divergence can only come from phase 1 — which the
+  // ParallelNetwork contract rules out.
+  local::ParallelNetwork net(tree, ids, num_threads);
+  result.rake_compress = RunRakeCompress(net, k);
+  FinishNodeProblem(problem, tree, ids, id_space, result);
+  return result;
+}
+
 std::vector<Thm12Result> SolveNodeProblemOnTreeBatch(
     const NodeProblem& problem, const Graph& tree,
     const std::vector<int64_t>& ids, int64_t id_space,
-    const std::vector<int>& ks) {
+    const std::vector<int>& ks, int num_threads) {
   std::vector<Thm12Result> results(ks.size());
   if (ks.empty()) return results;
 
   // Phase 1 for all k at once: one batched engine pass over the shared tree
   // (an empty tree degenerates inside RunRakeCompressBatch, which still
-  // validates every k, matching the solo path).
+  // validates every k, matching the solo path). num_threads > 1 shards the
+  // instance slices (ParallelBatchNetwork mode) — RunRakeCompressBatch takes
+  // the engine by base reference, so the sharded form composes unchanged.
   {
-    local::BatchNetwork net(tree, ids, static_cast<int>(ks.size()));
+    local::ParallelBatchNetwork net(tree, ids, static_cast<int>(ks.size()),
+                                    num_threads);
     std::vector<RakeCompressResult> decompositions =
         RunRakeCompressBatch(net, ks);
     for (size_t b = 0; b < ks.size(); ++b) {

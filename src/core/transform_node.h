@@ -51,6 +51,17 @@ Thm12Result SolveNodeProblemOnTree(const NodeProblem& problem,
                                    const std::vector<int64_t>& ids,
                                    int64_t id_space, int k);
 
+// Same pipeline with the engine-bound decomposition phase (phase 1) run on
+// a ParallelNetwork with `num_threads` lanes; the result is identical to
+// SolveNodeProblemOnTree for every thread count (phases 2-3 are engine-free
+// and phase 1's transcript is bit-identical by the ParallelNetwork
+// contract).
+Thm12Result SolveNodeProblemOnTreeParallel(const NodeProblem& problem,
+                                           const Graph& tree,
+                                           const std::vector<int64_t>& ids,
+                                           int64_t id_space, int k,
+                                           int num_threads);
+
 // Batched k-sweep: solves the same problem instance for every k in `ks`,
 // running the engine-bound decomposition phase (phase 1) of all instances
 // as one BatchNetwork pass over the shared topology; phases 2-3 are
@@ -58,10 +69,12 @@ Thm12Result SolveNodeProblemOnTree(const NodeProblem& problem,
 // SolveNodeProblemOnTree(problem, tree, ids, id_space, ks[b]). This is the
 // form the k-ablation sweep and multi-query serving use: per-round engine
 // dispatch is paid once for the whole sweep instead of once per k.
+// `num_threads` > 1 runs phase 1 on a ParallelBatchNetwork, sharding the
+// instance slices across that many pool lanes — same results.
 std::vector<Thm12Result> SolveNodeProblemOnTreeBatch(
     const NodeProblem& problem, const Graph& tree,
     const std::vector<int64_t>& ids, int64_t id_space,
-    const std::vector<int>& ks);
+    const std::vector<int>& ks, int num_threads = 1);
 
 }  // namespace treelocal
 

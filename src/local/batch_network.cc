@@ -38,7 +38,17 @@ void AdviseHugePages(void* data, size_t bytes) {
 
 BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
                            int batch)
-    : graph_(&graph), ids_(std::move(ids)), batch_(batch) {
+    : BatchNetwork(graph, std::move(ids), batch, 1) {}
+
+BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
+                           int batch, int num_threads)
+    : graph_(&graph),
+      ids_(std::move(ids)),
+      batch_(batch),
+      // Shards are whole instances, so more lanes than instances would idle;
+      // max(batch, 1) keeps the pool constructible so the batch < 1 check
+      // below reports the real error.
+      pool_(std::min(num_threads, std::max(batch, 1))) {
   assert(static_cast<int>(ids_.size()) == graph.NumNodes());
   if (batch < 1) {
     throw std::invalid_argument("BatchNetwork batch must be >= 1");
@@ -47,7 +57,7 @@ BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
   const size_t slots =
       2 * static_cast<size_t>(graph.NumEdges()) * static_cast<size_t>(batch);
 
-  internal::BuildChannelTables(graph, first_, send_chan_);
+  internal::BuildChannelTables(graph, nullptr, first_, send_chan_);
 
   // Reserve first and advise hugepages before the fill faults the pages in
   // (the hint only helps pages faulted after it).
@@ -59,11 +69,25 @@ BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
   inbox_.assign(slots, Message{});
   const size_t channels = 2 * static_cast<size_t>(graph.NumEdges());
   plane_ = channels;
-  dirty_stamp_.assign(channels, -1);
-  dirty_.reserve(channels);
-  live_list_.reserve(batch);
+  // Contiguous instance slices, balanced to +-1; each shard owns its own
+  // dirty-channel bookkeeping so the sharded round pass shares no mutable
+  // metadata (see the class comment in network.h).
+  const int shard_count = pool_.num_threads();
+  shards_.resize(shard_count);
+  for (int t = 0; t < shard_count; ++t) {
+    Shard& sh = shards_[t];
+    sh.b_lo = static_cast<int>(static_cast<int64_t>(batch) * t / shard_count);
+    sh.b_hi =
+        static_cast<int>(static_cast<int64_t>(batch) * (t + 1) / shard_count);
+    sh.dirty_stamp.assign(channels, -1);
+    sh.dirty.reserve(channels);
+    sh.live.reserve(sh.b_hi - sh.b_lo);
+  }
   halted_.assign(static_cast<size_t>(n) * batch, 0);
-  node_live_.assign(n, batch);
+  node_live_ = std::make_unique<std::atomic<int>[]>(n);
+  for (int v = 0; v < n; ++v) {
+    node_live_[v].store(batch, std::memory_order_relaxed);
+  }
   live_nodes_.assign(batch, n);
   active_.reserve(n);
   messages_delivered_.assign(batch, 0);
@@ -81,6 +105,7 @@ std::vector<int> BatchNetwork::Run(const std::vector<Algorithm*>& algs,
   }
   const int n = graph_->NumNodes();
   const int B = batch_;
+  const int S = static_cast<int>(shards_.size());
   round_ = 0;
   std::fill(messages_delivered_.begin(), messages_delivered_.end(), 0);
   for (auto& stats : round_stats_) stats.clear();
@@ -91,18 +116,109 @@ std::vector<int> BatchNetwork::Run(const std::vector<Algorithm*>& algs,
   if (epoch_ >= INT32_MAX - 4) {
     for (auto& m : stage_) m.engine_stamp = -1;
     for (auto& m : inbox_) m.engine_stamp = -1;
-    std::fill(dirty_stamp_.begin(), dirty_stamp_.end(), -1);
+    for (Shard& sh : shards_) {
+      std::fill(sh.dirty_stamp.begin(), sh.dirty_stamp.end(), -1);
+    }
     epoch_ = 1;
   }
   epoch_ += 2;
-  dirty_.clear();  // in case a previous Run threw mid-round
+  for (Shard& sh : shards_) sh.dirty.clear();  // a previous Run may have
+                                               // thrown mid-round
   std::fill(halted_.begin(), halted_.end(), 0);
-  std::fill(node_live_.begin(), node_live_.end(), B);
+  for (int v = 0; v < n; ++v) {
+    node_live_[v].store(B, std::memory_order_relaxed);
+  }
   std::fill(live_nodes_.begin(), live_nodes_.end(), n);
   active_.resize(n);
   std::iota(active_.begin(), active_.end(), 0);
 
-  NodeContext ctx(graph_, ids_.data(), nullptr, this, nullptr);
+  // One context per shard: same engine, but each carries its shard's own
+  // dirty-channel bookkeeping.
+  std::vector<NodeContext> ctxs;
+  ctxs.reserve(S);
+  for (int t = 0; t < S; ++t) {
+    ctxs.push_back(NodeContext(graph_, ids_.data(), this, nullptr));
+    ctxs.back().batch_dirty_stamp_ = shards_[t].dirty_stamp.data();
+    ctxs.back().batch_dirty_ = &shards_[t].dirty;
+  }
+
+  // One std::function for the whole run (per-round state — active_now,
+  // round_, the shard live lists — is read through captured references),
+  // so each round's fork costs no allocation. Body below at the
+  // ParallelFor call site.
+  int active_now = 0;
+  const std::function<void(int)> round_task = [&](int t) {
+    Shard& sh = shards_[t];
+    NodeContext& ctx = ctxs[t];
+    ctx.round_ = round_;
+    constexpr int kChunk = 512;
+    for (int lo = 0; lo < active_now; lo += kChunk) {
+      const int hi = std::min(lo + kChunk, active_now);
+      for (int b : sh.live) {
+        ctx.instance_ = b;
+        for (int i = lo; i < hi; ++i) {
+          const int v = active_[i];
+          if (halted_[static_cast<size_t>(v) * B + b]) continue;
+          ctx.node_ = v;
+          algs[b]->OnRound(ctx);
+          ++round_active_[b];
+        }
+      }
+    }
+    // Deliver this shard's slice: scatter each dirty channel's staged
+    // live-instance slots to the receiver-indexed inbox — the only random
+    // accesses of the round, each moving up to 24*B bytes, prefetched
+    // ahead so many line/TLB fills stay in flight. Copying a live
+    // instance's slot that was NOT written this round is harmless: its
+    // stamp is below this epoch, so next round's visibility check filters
+    // it — which is why whole-cluster prefetch is legal when every
+    // instance is live. A channel dirtied by several shards is scattered
+    // once per shard, each moving disjoint instance slots. O(channels
+    // written this round), not O(m).
+    {
+      const auto stride = static_cast<size_t>(B);
+      // Dense path: the shard's whole slice is live, so prefetch its
+      // contiguous slot range [b_lo, b_hi) line by line (NOT the whole
+      // cluster — write-prefetching other shards' slots would pull their
+      // lines exclusive and ping-pong them).
+      const bool slice_live =
+          static_cast<int>(sh.live.size()) == sh.b_hi - sh.b_lo;
+      const size_t slice_off = sizeof(Message) * static_cast<size_t>(sh.b_lo);
+      const size_t slice_end = sizeof(Message) * static_cast<size_t>(sh.b_hi);
+      constexpr size_t kPrefetchAhead = 32;
+      const size_t dirty_count = sh.dirty.size();
+      for (size_t i = 0; i < dirty_count; ++i) {
+        if (i + kPrefetchAhead < dirty_count) {
+          const auto ahead =
+              static_cast<size_t>(send_chan_[sh.dirty[i + kPrefetchAhead]]);
+          const char* base =
+              reinterpret_cast<const char*>(&inbox_[ahead * stride]);
+          if (slice_live) {
+            // The slice spans ceil(24*(b_hi-b_lo)/64) lines; one prefetch
+            // per line.
+            for (size_t off = slice_off; off < slice_end; off += 64) {
+              __builtin_prefetch(base + off, 1);
+            }
+          } else {
+            for (int b : sh.live) {
+              __builtin_prefetch(base + sizeof(Message) * b, 1);
+            }
+          }
+        }
+        const auto chan = static_cast<size_t>(sh.dirty[i]);
+        const auto dest = static_cast<size_t>(send_chan_[chan]);
+        // Layout conversion: gather the channel's slot from each live
+        // instance's plane (the dirty list is roughly channel-ascending,
+        // so these are interleaved sequential streams) into the
+        // contiguous inbox cluster (one random write region).
+        for (int b : sh.live) {
+          inbox_[dest * stride + b] = stage_[plane_ * b + chan];
+        }
+      }
+      sh.dirty.clear();
+    }
+  };
+
   while (!active_.empty()) {
     if (round_ >= max_rounds) {
       throw std::runtime_error("BatchNetwork::Run exceeded max_rounds");
@@ -116,15 +232,16 @@ std::vector<int> BatchNetwork::Run(const std::vector<Algorithm*>& algs,
       for (auto& m : inbox_) {
         m.engine_stamp = m.engine_stamp == epoch_ - 1 ? 2 : -1;
       }
-      std::fill(dirty_stamp_.begin(), dirty_stamp_.end(), -1);
+      for (Shard& sh : shards_) {
+        std::fill(sh.dirty_stamp.begin(), sh.dirty_stamp.end(), -1);
+      }
       epoch_ = 3;
     }
-    ctx.round_ = round_;
     for (int b = 0; b < B; ++b) {
       round_active_[b] = 0;
       sent_before_[b] = messages_delivered_[b];
     }
-    const int active_now = static_cast<int>(active_.size());
+    active_now = static_cast<int>(active_.size());
     // One pass over the shared worklist serves every live instance at each
     // node. Per instance the OnRound order is increasing node index, exactly
     // the solo Network::Run schedule, and instances never alias channels —
@@ -141,34 +258,26 @@ std::vector<int> BatchNetwork::Run(const std::vector<Algorithm*>& algs,
     // round_live_; an instance halting its last node mid-round still
     // finishes the round via the per-node halted_ checks) skip their slices
     // outright, so a long-tailed instance mix degrades toward solo cost.
-    // live_list_ drives the scatter: only these instances can have staged
-    // sends this round.
-    live_list_.clear();
-    for (int b = 0; b < B; ++b) {
-      round_live_[b] = live_nodes_[b] > 0;
-      if (round_live_[b]) live_list_.push_back(b);
-    }
-    constexpr int kChunk = 512;
-    for (int lo = 0; lo < active_now; lo += kChunk) {
-      const int hi = std::min(lo + kChunk, active_now);
-      for (int b = 0; b < B; ++b) {
-        if (!round_live_[b]) continue;
-        ctx.instance_ = b;
-        for (int i = lo; i < hi; ++i) {
-          const int v = active_[i];
-          if (halted_[static_cast<size_t>(v) * B + b]) continue;
-          ctx.node_ = v;
-          algs[b]->OnRound(ctx);
-          ++round_active_[b];
-        }
+    // Each shard's live sub-list drives its scatter: only these instances
+    // can have staged sends this round.
+    for (int b = 0; b < B; ++b) round_live_[b] = live_nodes_[b] > 0;
+    for (Shard& sh : shards_) {
+      sh.live.clear();
+      for (int b = sh.b_lo; b < sh.b_hi; ++b) {
+        if (round_live_[b]) sh.live.push_back(b);
       }
     }
+    // Shard fork: each lane runs its instance slice's node pass, then —
+    // with no barrier in between, since both touch only the shard's own
+    // instance slots — scatters its own dirty channels (round_task above).
+    // The pool join is the round barrier.
+    pool_.ParallelFor(S, round_task);
     // Compact the worklist after every instance has visited every node.
     size_t kept = 0;
     for (int i = 0; i < active_now; ++i) {
       const int v = active_[i];
       active_[kept] = v;
-      kept += node_live_[v] > 0 ? 1 : 0;
+      kept += node_live_[v].load(std::memory_order_relaxed) > 0 ? 1 : 0;
     }
     active_.resize(kept);
     for (int b = 0; b < B; ++b) {
@@ -178,49 +287,6 @@ std::vector<int> BatchNetwork::Run(const std::vector<Algorithm*>& algs,
       // Instance b halted its last node this round: its solo run would have
       // exited here, so its round count freezes while the batch continues.
       if (live_nodes_[b] == 0) rounds_[b] = round_ + 1;
-    }
-    // Deliver: scatter each dirty channel's staged live-instance slots to
-    // the receiver-indexed inbox — the only random accesses of the round,
-    // each moving up to 24*B bytes and prefetched ahead so many line/TLB
-    // fills stay in flight. Copying a live instance's slot that was NOT
-    // written this round is harmless: its stamp is below this epoch, so
-    // next round's visibility check filters it — which is why whole-cluster
-    // memcpy is legal when every instance is live. O(channels written this
-    // round), not O(m).
-    {
-      const auto stride = static_cast<size_t>(B);
-      const size_t cluster_bytes = sizeof(Message) * stride;
-      const bool all_live = static_cast<int>(live_list_.size()) == B;
-      constexpr size_t kPrefetchAhead = 32;
-      const size_t dirty_count = dirty_.size();
-      for (size_t i = 0; i < dirty_count; ++i) {
-        if (i + kPrefetchAhead < dirty_count) {
-          const auto ahead =
-              static_cast<size_t>(send_chan_[dirty_[i + kPrefetchAhead]]);
-          const char* base =
-              reinterpret_cast<const char*>(&inbox_[ahead * stride]);
-          if (all_live) {
-            // A cluster spans ceil(24*B/64) lines; prefetch each one.
-            for (size_t off = 0; off < cluster_bytes; off += 64) {
-              __builtin_prefetch(base + off, 1);
-            }
-          } else {
-            for (int b : live_list_) {
-              __builtin_prefetch(base + sizeof(Message) * b, 1);
-            }
-          }
-        }
-        const auto chan = static_cast<size_t>(dirty_[i]);
-        const auto dest = static_cast<size_t>(send_chan_[chan]);
-        // Layout conversion: gather the channel's slot from each live
-        // instance's plane (the dirty list is roughly channel-ascending, so
-        // these are B interleaved sequential streams) into the contiguous
-        // inbox cluster (one random write region).
-        for (int b : live_list_) {
-          inbox_[dest * stride + b] = stage_[plane_ * b + chan];
-        }
-      }
-      dirty_.clear();
     }
     ++round_;
     ++epoch_;

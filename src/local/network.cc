@@ -12,19 +12,33 @@ const Message Network::kNoMessage{};
 
 namespace internal {
 
-// send_chan[first[v] + p] = CSR slot of the reverse half-edge (u -> v)
+// send_chan[first[v] + p] = channel of the reverse half-edge (u -> v)
 // where u = Neighbors(v)[p] — i.e. the receiver-side inbox slot a send on
 // (v, p) must land in. Built in O(n + m) via one pass that records, per
-// edge, the CSR slots of its two half-edges.
-void BuildChannelTables(const Graph& graph, std::vector<int>& first,
-                        std::vector<int>& send_chan) {
+// edge, the channels of its two half-edges. With `perm` the per-node
+// channel blocks are laid out in internal-rank order; the pairing logic is
+// unchanged because it keys on edge ids, not layout.
+void BuildChannelTables(const Graph& graph, const int* perm,
+                        std::vector<int>& first, std::vector<int>& send_chan) {
   const int n = graph.NumNodes();
   first.resize(n + 1);
-  first[0] = 0;
-  for (int v = 0; v < n; ++v) first[v + 1] = first[v] + graph.Degree(v);
+  if (perm == nullptr) {
+    first[0] = 0;
+    for (int v = 0; v < n; ++v) first[v + 1] = first[v] + graph.Degree(v);
+  } else {
+    // Internal-rank CSR offsets, then scattered back so first[] stays
+    // indexed by external node (the hot paths never see the permutation).
+    std::vector<int> offset(n + 1);
+    std::vector<int> inv(n);  // internal rank -> external node
+    for (int v = 0; v < n; ++v) inv[perm[v]] = v;
+    offset[0] = 0;
+    for (int i = 0; i < n; ++i) offset[i + 1] = offset[i] + graph.Degree(inv[i]);
+    for (int v = 0; v < n; ++v) first[v] = offset[perm[v]];
+    first[n] = offset[n];
+  }
 
   send_chan.resize(2 * static_cast<size_t>(graph.NumEdges()));
-  std::vector<int> slot_u(graph.NumEdges(), -1);  // first-seen slot per edge
+  std::vector<int> slot_u(graph.NumEdges(), -1);  // first-seen channel per edge
   for (int v = 0; v < n; ++v) {
     auto inc = graph.IncidentEdges(v);
     for (int p = 0; p < static_cast<int>(inc.size()); ++p) {
@@ -40,15 +54,56 @@ void BuildChannelTables(const Graph& graph, std::vector<int>& first,
   }
 }
 
+std::vector<int> BfsOrder(const Graph& graph) {
+  const int n = graph.NumNodes();
+  std::vector<int> perm(n, -1);
+  std::vector<int> queue;
+  queue.reserve(n);
+  int rank = 0;
+  for (int root = 0; root < n; ++root) {
+    if (perm[root] >= 0) continue;
+    perm[root] = rank++;
+    queue.push_back(root);
+    for (size_t head = queue.size() - 1; head < queue.size(); ++head) {
+      const int v = queue[head];
+      for (int u : graph.Neighbors(v)) {
+        if (perm[u] < 0) {
+          perm[u] = rank++;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return perm;
+}
+
+std::vector<int> WorklistOrder(int n, const std::vector<int>& perm) {
+  std::vector<int> order(n);
+  if (perm.empty()) {
+    std::iota(order.begin(), order.end(), 0);
+  } else {
+    for (int v = 0; v < n; ++v) order[perm[v]] = v;
+  }
+  return order;
+}
+
 }  // namespace internal
 
 Network::Network(const Graph& graph, std::vector<int64_t> ids)
+    : Network(graph, std::move(ids), NetworkOptions{}) {}
+
+Network::Network(const Graph& graph, std::vector<int64_t> ids,
+                 const NetworkOptions& options)
     : graph_(&graph), ids_(std::move(ids)) {
   assert(static_cast<int>(ids_.size()) == graph.NumNodes());
   const int n = graph.NumNodes();
   const size_t channels = 2 * static_cast<size_t>(graph.NumEdges());
 
-  internal::BuildChannelTables(graph, first_, send_chan_);
+  std::vector<int> perm;
+  if (options.relabel) perm = internal::BfsOrder(graph);
+  internal::BuildChannelTables(graph, perm.empty() ? nullptr : perm.data(),
+                               first_, send_chan_);
+  order_ = internal::WorklistOrder(n, perm);
 
   inbox_.assign(channels, Message{});
   outbox_.assign(channels, Message{});
@@ -57,7 +112,6 @@ Network::Network(const Graph& graph, std::vector<int64_t> ids)
 }
 
 int Network::Run(Algorithm& alg, int max_rounds) {
-  const int n = graph_->NumNodes();
   round_ = 0;
   messages_delivered_ = 0;
   round_stats_.clear();
@@ -78,10 +132,13 @@ int Network::Run(Algorithm& alg, int max_rounds) {
   }
   epoch_ += 2;
   std::fill(halted_.begin(), halted_.end(), 0);
-  active_.resize(n);
-  std::iota(active_.begin(), active_.end(), 0);
+  active_ = order_;
 
-  NodeContext ctx(graph_, ids_.data(), this, nullptr, nullptr);
+  NodeContext ctx(graph_, ids_.data(), nullptr, nullptr);
+  ctx.first_ = first_.data();
+  ctx.send_chan_ = send_chan_.data();
+  ctx.halted_ = halted_.data();
+  ctx.sent_ = &messages_delivered_;
   while (!active_.empty()) {
     if (round_ >= max_rounds) {
       throw std::runtime_error("Network::Run exceeded max_rounds");
@@ -97,12 +154,16 @@ int Network::Run(Algorithm& alg, int max_rounds) {
       epoch_ = 3;
     }
     ctx.round_ = round_;
+    // Refreshed every round: the mailboxes swap below, and the epoch moves.
+    ctx.inbox_ = inbox_.data();
+    ctx.outbox_ = outbox_.data();
+    ctx.epoch_ = epoch_;
     std::chrono::steady_clock::time_point t0;
     if (record_round_times_) t0 = std::chrono::steady_clock::now();
     const int active_now = static_cast<int>(active_.size());
     const int64_t sent_before = messages_delivered_;
     // Run all active nodes, compacting halted ones out in place (stable:
-    // increasing node order is preserved, matching the reference engine).
+    // the engine's node order is preserved, matching the reference engine).
     size_t kept = 0;
     for (int i = 0; i < active_now; ++i) {
       const int v = active_[i];

@@ -1,10 +1,13 @@
 #ifndef TREELOCAL_LOCAL_NETWORK_H_
 #define TREELOCAL_LOCAL_NETWORK_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/support/thread_pool.h"
 
 namespace treelocal::local {
 
@@ -36,7 +39,24 @@ struct RoundStats {
   friend bool operator==(const RoundStats&, const RoundStats&) = default;
 };
 
+// Construction-time engine options (Network and ParallelNetwork).
+struct NetworkOptions {
+  // Opt-in BFS locality relabeling: the engine assigns every node an
+  // internal id in BFS order and lays the channel tables and mailboxes out
+  // by internal id, so neighbors' mailbox blocks land near each other
+  // regardless of how the caller labeled the graph. On unlabeled-locality
+  // families (uniform random trees) this localizes the round pass's random
+  // sends, the head-round bottleneck. The internal ids never escape the
+  // engine: NodeContext::node() and every output stay in the caller's
+  // external node numbering, and transcripts are bit-identical to a
+  // non-relabeled run (enforced by tests) — only the iteration order within
+  // a round and the physical mailbox layout change, neither of which is
+  // observable in the LOCAL model.
+  bool relabel = false;
+};
+
 class Network;
+class ParallelNetwork;
 class BatchNetwork;
 class ReferenceNetwork;
 
@@ -47,11 +67,23 @@ const Message& RefRecv(const ReferenceNetwork& ref, int node, int port);
 void RefSend(ReferenceNetwork& ref, int node, int port, Message m);
 void RefHalt(ReferenceNetwork& ref, int node);
 
-// Builds the receiver-indexed CSR channel tables shared by Network and
-// BatchNetwork: first[v] + p is the recv channel of (v, p), and
-// send_chan[first[v] + p] is the CSR slot of the reverse half-edge.
-void BuildChannelTables(const Graph& graph, std::vector<int>& first,
-                        std::vector<int>& send_chan);
+// Builds the receiver-indexed CSR channel tables shared by all engines:
+// first[v] + p is the recv channel of (v, p), and send_chan[first[v] + p]
+// is the channel of the reverse half-edge. When `perm` is non-null it maps
+// external node -> internal rank and the channel blocks are laid out in
+// internal-rank order (NetworkOptions::relabel); first[] stays indexed by
+// external node, so the Recv/Send hot paths are identical either way.
+void BuildChannelTables(const Graph& graph, const int* perm,
+                        std::vector<int>& first, std::vector<int>& send_chan);
+
+// BFS permutation for NetworkOptions::relabel: perm[v] = BFS visit rank of
+// external node v (roots chosen in increasing external index; neighbors
+// expanded in port order). Deterministic.
+std::vector<int> BfsOrder(const Graph& graph);
+
+// Initial worklist order: external node ids sorted by internal rank
+// (identity when perm is null). The engines run rounds in this order.
+std::vector<int> WorklistOrder(int n, const std::vector<int>& perm);
 }  // namespace internal
 
 // Per-node view handed to Algorithm::OnRound. In the LOCAL model (Definition
@@ -59,11 +91,16 @@ void BuildChannelTables(const Graph& graph, std::vector<int>& first,
 // one round of communication — the engine exposes them directly for
 // convenience, which is standard (it shifts round counts by at most 1).
 //
-// One NodeContext serves all three engines: the optimized Network (inline
-// fast paths, single array loads), the BatchNetwork (same fast paths plus an
-// instance index into B-wide mailbox slots), and the ReferenceNetwork (naive
-// per-round clears, used for differential testing). Exactly one of
-// net_/batch_/ref_ is set; the branch predicts perfectly inside a run.
+// One NodeContext serves all four engines. The CSR engines (Network and
+// ParallelNetwork shards) share one branch: the context carries raw views of
+// the engine's channel tables, mailboxes, halt flags, and a message counter,
+// so Recv/Send/Halt are single array accesses with no engine indirection —
+// and under ParallelNetwork the counter view points at the shard's own
+// padded slot, which is what keeps the hot path free of atomics. The
+// BatchNetwork branch adds an instance index into B-wide mailbox slots and
+// per-shard dirty-channel bookkeeping; the ReferenceNetwork branch is the
+// naive out-of-line path used for differential testing. The branch predicts
+// perfectly inside a run.
 class NodeContext {
  public:
   int node() const { return node_; }
@@ -97,17 +134,40 @@ class NodeContext {
 
  private:
   friend class Network;
+  friend class ParallelNetwork;
   friend class BatchNetwork;
   friend class ReferenceNetwork;
-  NodeContext(const Graph* graph, const int64_t* ids, Network* net,
-              BatchNetwork* batch, ReferenceNetwork* ref)
-      : graph_(graph), ids_(ids), net_(net), batch_(batch), ref_(ref) {}
+  NodeContext(const Graph* graph, const int64_t* ids, BatchNetwork* batch,
+              ReferenceNetwork* ref)
+      : graph_(graph), ids_(ids), batch_(batch), ref_(ref) {}
 
   const Graph* graph_;
   const int64_t* ids_;
-  Network* net_;           // optimized engine, or null
   BatchNetwork* batch_;    // batched multi-instance engine, or null
   ReferenceNetwork* ref_;  // reference engine, or null
+
+  // CSR fast-path views (Network and ParallelNetwork; first_ non-null
+  // selects this branch — the offset table is never empty, unlike the
+  // mailboxes of an edgeless graph). All writes reachable through them are disjoint
+  // across concurrently running nodes — each node stores only through its
+  // own send channels, halts only itself, and counts into its own shard's
+  // sent_ slot — which is the whole data-race argument for the sharded
+  // round pass. The engine refreshes inbox_/outbox_/epoch_ every round
+  // (the mailboxes swap).
+  const int* first_ = nullptr;
+  const int* send_chan_ = nullptr;
+  const Message* inbox_ = nullptr;
+  Message* outbox_ = nullptr;
+  char* halted_ = nullptr;
+  int64_t* sent_ = nullptr;  // messages-delivered counter (per shard)
+  int32_t epoch_ = 0;
+
+  // BatchNetwork per-shard dirty-channel bookkeeping: the shard running
+  // this context marks written channels in its own stamp plane and list,
+  // so instance-sharded rounds never contend on a shared dirty vector.
+  int32_t* batch_dirty_stamp_ = nullptr;
+  std::vector<int>* batch_dirty_ = nullptr;
+
   int node_ = 0;
   int round_ = 0;
   int instance_ = 0;
@@ -116,6 +176,16 @@ class NodeContext {
 // A distributed algorithm: one object, per-node state kept by the
 // implementation in arrays indexed by node. OnRound is invoked once per node
 // per round (round 0 included, with empty inboxes) until every node halts.
+//
+// Determinism contract (what makes every engine in this family produce
+// bit-identical transcripts): within a round, OnRound for node v may read
+// and write only v's own per-node state, read its inbox, send on its own
+// ports, and halt itself. Sends become visible at the round barrier, so the
+// order in which nodes run within a round — serial index order, relabeled
+// order, or sharded across threads — cannot leak into outputs, RoundStats,
+// or message counts. Every algorithm in this repository satisfies this by
+// construction (per-node RNG included), and the differential suites enforce
+// it across all engines.
 class Algorithm {
  public:
   virtual ~Algorithm() = default;
@@ -124,9 +194,18 @@ class Algorithm {
 
 // Synchronous message-passing engine over a port-numbered network, per the
 // LOCAL model: all nodes run in lockstep; messages sent in round r are
-// received in round r+1. Deterministic by construction (nodes run in
-// increasing index order; the LOCAL semantics are order-independent because
+// received in round r+1. Deterministic by construction (nodes run in a
+// fixed per-engine order; the LOCAL semantics are order-independent because
 // sends only become visible next round).
+//
+// Engine family (see README.md for how to pick):
+//   ReferenceNetwork — naive O(n + m) per round; differential-test oracle.
+//   Network          — serial engine, O(active work) per round (below).
+//   ParallelNetwork  — Network's round pass sharded across a thread pool,
+//                      bit-identical transcripts for every thread count.
+//   BatchNetwork     — B independent instances over one shared topology in
+//                      a single per-round pass; ParallelBatchNetwork shards
+//                      its instance slices across threads.
 //
 // Throughput design (the per-round cost is the system-wide bottleneck for
 // every pipeline in this repository):
@@ -137,14 +216,16 @@ class Algorithm {
 //     through the precomputed send_chan_ table to the reverse half-edge — a
 //     random store, which the store buffer absorbs without stalling, unlike
 //     the random load a sender-indexed layout would put in Recv. No
-//     IncidentEdges/EndpointSlot recomputation on the hot path.
+//     IncidentEdges/EndpointSlot recomputation on the hot path. With
+//     NetworkOptions::relabel the blocks are laid out in BFS order, which
+//     shortens the stride of those random stores on badly-labeled inputs.
 //   * Epoch-stamped mailboxes: each channel carries the epoch at which it was
 //     last written. A message is visible iff its stamp equals the previous
 //     epoch. This removes the per-round O(2m) outbox clear and the O(2m)
 //     delivered-message scan — messages are counted at send time instead.
 //   * Active-node worklist: each round iterates only non-halted nodes and
-//     compacts in place (stable, preserving index order). Once a node halts
-//     it is never touched again.
+//     compacts in place (stable, preserving the engine's node order). Once a
+//     node halts it is never touched again.
 //
 // Per-round complexity: O(sum of OnRound costs over active nodes) + O(#active)
 // for the compaction + O(1) bookkeeping. Nothing is proportional to n or m
@@ -157,6 +238,8 @@ class Algorithm {
 class Network {
  public:
   Network(const Graph& graph, std::vector<int64_t> ids);
+  Network(const Graph& graph, std::vector<int64_t> ids,
+          const NetworkOptions& options);
 
   // Runs `alg` until every node has halted or `max_rounds` is hit.
   // Returns the number of rounds executed (a node halting in round r has
@@ -199,12 +282,14 @@ class Network {
   std::vector<int> first_;      // size n+1: CSR offsets; recv channel of
                                 // (v, p) is first_[v] + p
   std::vector<int> send_chan_;  // size 2m: send channel of (v, p), i.e. the
-                                // CSR slot of the reverse half-edge
+                                // channel of the reverse half-edge
+  std::vector<int> order_;      // worklist seed: external ids in engine order
+                                // (iota, or BFS under options.relabel)
   // Double-buffered mailboxes, each slot epoch-stamped in the Message's
   // engine_stamp field; swapped (O(1)) each round, never cleared.
   std::vector<Message> inbox_, outbox_;
   std::vector<char> halted_;
-  std::vector<int> active_;  // worklist of non-halted nodes, index order
+  std::vector<int> active_;  // worklist of non-halted nodes, engine order
   std::vector<RoundStats> round_stats_;
   std::vector<double> round_seconds_;
   bool record_round_times_ = false;
@@ -214,6 +299,8 @@ class Network {
   int64_t messages_delivered_ = 0;
 
   static const Message kNoMessage;
+
+  friend class ParallelNetwork;  // shares kNoMessage via NodeContext::Recv
 };
 
 // Batched multi-instance engine: runs B independent Algorithm instances over
@@ -247,6 +334,21 @@ class Network {
 // sequentially per instance slice instead of interleaving 3*B prefetch
 // streams.
 //
+// Sharded mode (num_threads > 1, or construct a ParallelBatchNetwork): the
+// per-round pass splits the batch into contiguous instance slices, one per
+// thread-pool lane. Instance slices are embarrassingly parallel — staging
+// planes, message counters, per-instance halt flags, and RoundStats are all
+// per-instance — so each shard runs its slice's node pass AND its slice's
+// scatter with no barrier in between (the scatter touches only the shard's
+// own instance slots of each inbox cluster). The two cross-instance
+// structures are handled explicitly: dirty-channel bookkeeping is per shard
+// (a channel dirtied by several shards is scattered once per shard, each
+// moving disjoint instance slots), and the shared per-node live-instance
+// countdown is a relaxed atomic (a pure counter: any decrement order yields
+// the same compaction decision at the barrier). Transcripts are bit-identical
+// to the serial batch — and therefore to B solo Network runs — for every
+// thread count.
+//
 // Batch API contract:
 //   * Instances are fully independent: instance b's transcript (outputs,
 //     per-instance round count, message count, per-round RoundStats) is
@@ -271,6 +373,15 @@ class Network {
 class BatchNetwork {
  public:
   BatchNetwork(const Graph& graph, std::vector<int64_t> ids, int batch);
+  // Sharded form: the round pass runs on `num_threads` persistent pool
+  // lanes (>= 1; capped at `batch` — slices are whole instances).
+  BatchNetwork(const Graph& graph, std::vector<int64_t> ids, int batch,
+               int num_threads);
+
+  // Virtual only so deleting a ParallelBatchNetwork through a
+  // BatchNetwork* is defined; there are no other virtuals and no virtual
+  // dispatch anywhere near the hot paths.
+  virtual ~BatchNetwork() = default;
 
   // Runs algs[b] as instance b (algs.size() must equal batch()) until every
   // instance has halted every node; throws if a round would exceed
@@ -280,6 +391,7 @@ class BatchNetwork {
   std::vector<int> Run(const std::vector<Algorithm*>& algs, int max_rounds);
 
   int batch() const { return batch_; }
+  int num_threads() const { return pool_.num_threads(); }
   const Graph& graph() const { return *graph_; }
   const std::vector<int64_t>& ids() const { return ids_; }
 
@@ -299,11 +411,20 @@ class BatchNetwork {
  private:
   friend class NodeContext;
 
+  // One contiguous instance slice of the batch plus its private
+  // dirty-channel bookkeeping and scratch (see the sharded-mode comment).
+  struct Shard {
+    int b_lo = 0, b_hi = 0;             // instance range [b_lo, b_hi)
+    std::vector<int32_t> dirty_stamp;   // per channel: epoch of last write
+    std::vector<int> dirty;             // channels written this round
+    std::vector<int> live;              // scratch: live instances in range
+  };
+
   const Graph* graph_;
   std::vector<int64_t> ids_;
   int batch_;
   std::vector<int> first_;      // shared CSR offsets (see Network)
-  std::vector<int> send_chan_;  // shared reverse half-edge slots
+  std::vector<int> send_chan_;  // shared reverse half-edge channels
   // B-wide mailboxes, epoch-stamped, never cleared. stage_ is the
   // sender-indexed buffer Send writes, laid out instance-MAJOR (one
   // contiguous plane per instance, so a cache-blocked instance slice emits
@@ -313,11 +434,13 @@ class BatchNetwork {
   // The round-end scatter converts between the two layouts.
   std::vector<Message> stage_, inbox_;
   size_t plane_ = 0;  // stage_ plane stride == channel count
-  std::vector<int32_t> dirty_stamp_;  // per channel: epoch of last write
-  std::vector<int> dirty_;            // channels written this round
-  std::vector<int> live_list_;        // scratch: instances live this round
+  std::vector<Shard> shards_;
   std::vector<char> halted_;          // (node, instance): v * batch_ + b
-  std::vector<int> node_live_;        // per node: # instances not halted
+  // Per node: # instances not halted. Relaxed atomic so instance shards on
+  // different threads can decrement the same node concurrently; the value
+  // is only read at the round barrier (after the pool join), where any
+  // decrement order has produced the same count.
+  std::unique_ptr<std::atomic<int>[]> node_live_;
   std::vector<int> live_nodes_;       // per instance: # nodes not halted
   std::vector<int> active_;           // nodes live in >= 1 instance
   std::vector<int64_t> messages_delivered_;          // per instance
@@ -326,15 +449,27 @@ class BatchNetwork {
   std::vector<int> round_active_;     // scratch: per-instance ran-this-round
   std::vector<int64_t> sent_before_;  // scratch: per-instance sent watermark
   std::vector<char> round_live_;      // scratch: live-at-round-start flags
+  support::ThreadPool pool_;          // num_threads lanes, persistent
   int32_t epoch_ = 1;  // same monotone/wrap-guarded scheme as Network
   int round_ = 0;
 };
 
+// The sharded batch engine under its own name: a BatchNetwork whose
+// per-round pass (and per-shard scatter) runs on `num_threads` persistent
+// pool lanes. Composes with every BatchNetwork-taking entry point
+// (RunRakeCompressBatch, SolveNodeProblemOnTreeBatch, ...) unchanged.
+class ParallelBatchNetwork final : public BatchNetwork {
+ public:
+  ParallelBatchNetwork(const Graph& graph, std::vector<int64_t> ids, int batch,
+                       int num_threads)
+      : BatchNetwork(graph, std::move(ids), batch, num_threads) {}
+};
+
 inline const Message& NodeContext::Recv(int port) const {
-  if (net_ != nullptr) [[likely]] {
-    const auto c = static_cast<size_t>(net_->first_[node_] + port);
-    const Message& s = net_->inbox_[c];
-    return s.engine_stamp + 1 == net_->epoch_ ? s : Network::kNoMessage;
+  if (first_ != nullptr) [[likely]] {
+    const auto c = static_cast<size_t>(first_[node_] + port);
+    const Message& s = inbox_[c];
+    return s.engine_stamp + 1 == epoch_ ? s : Network::kNoMessage;
   }
   if (batch_ != nullptr) [[likely]] {
     // Receiver-indexed and sequential, exactly like the solo engine: the
@@ -348,25 +483,25 @@ inline const Message& NodeContext::Recv(int port) const {
 }
 
 inline void NodeContext::Send(int port, Message m) {
-  if (net_ != nullptr) [[likely]] {
-    const auto c = static_cast<size_t>(net_->send_chan_[net_->first_[node_] + port]);
-    Message& s = net_->outbox_[c];
-    if (s.engine_stamp == net_->epoch_) {
+  if (first_ != nullptr) [[likely]] {
+    const auto c = static_cast<size_t>(send_chan_[first_[node_] + port]);
+    Message& s = outbox_[c];
+    if (s.engine_stamp == epoch_) {
       // Second write on this channel this round: last write wins, undo the
       // earlier message's contribution to the counter.
-      net_->messages_delivered_ -= s.present();
+      *sent_ -= s.present();
     }
-    const int32_t stamp = net_->epoch_;
+    const int32_t stamp = epoch_;
     s = m;
     s.engine_stamp = stamp;
-    net_->messages_delivered_ += m.present();
+    *sent_ += m.present();
     return;
   }
   if (batch_ != nullptr) [[likely]] {
     // Stage at the sender's own CSR slot in this instance's plane —
     // sequential within a node visit, no random access on the send path at
-    // all — and mark the channel dirty for the round-end scatter (also
-    // sequential).
+    // all — and mark the channel dirty in this shard's own bookkeeping for
+    // the round-end scatter (also sequential).
     const int chan = batch_->first_[node_] + port;
     Message& s =
         batch_->stage_[batch_->plane_ * static_cast<size_t>(instance_) +
@@ -378,9 +513,9 @@ inline void NodeContext::Send(int port, Message m) {
     s = m;
     s.engine_stamp = stamp;
     batch_->messages_delivered_[instance_] += m.present();
-    if (batch_->dirty_stamp_[chan] != stamp) {
-      batch_->dirty_stamp_[chan] = stamp;
-      batch_->dirty_.push_back(chan);
+    if (batch_dirty_stamp_[chan] != stamp) {
+      batch_dirty_stamp_[chan] = stamp;
+      batch_dirty_->push_back(chan);
     }
     return;
   }
@@ -393,8 +528,8 @@ inline void NodeContext::Broadcast(Message m) {
 }
 
 inline void NodeContext::Halt() {
-  if (net_ != nullptr) [[likely]] {
-    net_->halted_[node_] = 1;  // worklist compaction happens after OnRound
+  if (first_ != nullptr) [[likely]] {
+    halted_[node_] = 1;  // worklist compaction happens after OnRound
     return;
   }
   if (batch_ != nullptr) [[likely]] {
@@ -403,7 +538,7 @@ inline void NodeContext::Halt() {
                               instance_];
     if (!h) {
       h = 1;
-      --batch_->node_live_[node_];
+      batch_->node_live_[node_].fetch_sub(1, std::memory_order_relaxed);
       --batch_->live_nodes_[instance_];
     }
     return;

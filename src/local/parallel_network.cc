@@ -1,0 +1,149 @@
+#include "src/local/parallel_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+
+namespace treelocal::local {
+
+ParallelNetwork::ParallelNetwork(const Graph& graph, std::vector<int64_t> ids,
+                                 int num_threads)
+    : ParallelNetwork(graph, std::move(ids), num_threads, NetworkOptions{}) {}
+
+ParallelNetwork::ParallelNetwork(const Graph& graph, std::vector<int64_t> ids,
+                                 int num_threads,
+                                 const NetworkOptions& options)
+    : graph_(&graph), ids_(std::move(ids)), pool_(num_threads) {
+  assert(static_cast<int>(ids_.size()) == graph.NumNodes());
+  const int n = graph.NumNodes();
+  const size_t channels = 2 * static_cast<size_t>(graph.NumEdges());
+
+  std::vector<int> perm;
+  if (options.relabel) perm = internal::BfsOrder(graph);
+  internal::BuildChannelTables(graph, perm.empty() ? nullptr : perm.data(),
+                               first_, send_chan_);
+  order_ = internal::WorklistOrder(n, perm);
+
+  inbox_.assign(channels, Message{});
+  outbox_.assign(channels, Message{});
+  halted_.assign(n, 0);
+  active_.reserve(n);
+  shards_.resize(pool_.num_threads());
+}
+
+int ParallelNetwork::Run(Algorithm& alg, int max_rounds) {
+  const int T = pool_.num_threads();
+  round_ = 0;
+  messages_delivered_ = 0;
+  round_stats_.clear();
+  round_seconds_.clear();
+  // Epoch scheme identical to Network::Run: advance by 2 so round 0 cannot
+  // see the previous run's stamps; re-arm once near the 32-bit wrap.
+  if (epoch_ >= INT32_MAX - 4) {
+    for (auto& m : inbox_) m.engine_stamp = -1;
+    for (auto& m : outbox_) m.engine_stamp = -1;
+    epoch_ = 1;
+  }
+  epoch_ += 2;
+  std::fill(halted_.begin(), halted_.end(), 0);
+  active_ = order_;
+
+  // One context per shard: identical CSR views except for the per-shard
+  // message counter slot. Rebuilt per Run (T small), reusing no heap.
+  std::vector<NodeContext> ctxs;
+  ctxs.reserve(T);
+  for (int t = 0; t < T; ++t) {
+    ctxs.push_back(NodeContext(graph_, ids_.data(), nullptr, nullptr));
+    NodeContext& ctx = ctxs.back();
+    ctx.first_ = first_.data();
+    ctx.send_chan_ = send_chan_.data();
+    ctx.halted_ = halted_.data();
+    ctx.sent_ = &shards_[t].sent;
+  }
+
+  // Shard boundaries: contiguous worklist ranges, balanced to +-1. The
+  // partition depends only on (active_now, T) — but even that choice is
+  // transcript-invisible, since shards only reorder OnRound within the
+  // round and all cross-shard writes are disjoint (see the class comment).
+  int active_now = 0;
+  auto shard_lo = [&](int t) {
+    return static_cast<int>(static_cast<int64_t>(active_now) * t / T);
+  };
+  // One std::function for the whole run (the per-round state it reads —
+  // active_now, the round's ctx views — is re-captured by reference), so
+  // tail rounds fork without a per-round allocation.
+  const std::function<void(int)> round_task = [&](int t) {
+    const int lo = shard_lo(t);
+    const int hi = shard_lo(t + 1);
+    NodeContext& ctx = ctxs[t];
+    int* work = active_.data();
+    // Stable in-place compaction of this shard's own range, exactly the
+    // serial engine's loop restricted to [lo, hi).
+    int kept = lo;
+    for (int i = lo; i < hi; ++i) {
+      const int v = work[i];
+      ctx.node_ = v;
+      alg.OnRound(ctx);
+      work[kept] = v;
+      kept += halted_[v] ? 0 : 1;
+    }
+    shards_[t].kept = kept - lo;
+  };
+
+  while (!active_.empty()) {
+    if (round_ >= max_rounds) {
+      throw std::runtime_error("ParallelNetwork::Run exceeded max_rounds");
+    }
+    if (epoch_ >= INT32_MAX - 2) {
+      // Mid-run rebase, as in Network::Run.
+      for (auto& m : outbox_) m.engine_stamp = -1;
+      for (auto& m : inbox_) {
+        m.engine_stamp = m.engine_stamp == epoch_ - 1 ? 2 : -1;
+      }
+      epoch_ = 3;
+    }
+    std::chrono::steady_clock::time_point t0;
+    if (record_round_times_) t0 = std::chrono::steady_clock::now();
+    active_now = static_cast<int>(active_.size());
+    for (int t = 0; t < T; ++t) {
+      NodeContext& ctx = ctxs[t];
+      ctx.round_ = round_;
+      ctx.inbox_ = inbox_.data();
+      ctx.outbox_ = outbox_.data();
+      ctx.epoch_ = epoch_;
+      shards_[t].sent = 0;
+      shards_[t].kept = 0;
+    }
+    pool_.ParallelFor(T, round_task);
+    // Round barrier (the pool join above is the visibility fence): reduce
+    // the per-shard message counters — a sum, so the total equals the
+    // serial engine's regardless of sharding — and stitch the compacted
+    // shard prefixes into one dense worklist, preserving node order.
+    int64_t round_sent = 0;
+    for (int t = 0; t < T; ++t) round_sent += shards_[t].sent;
+    messages_delivered_ += round_sent;
+    round_stats_.push_back({active_now, round_sent});
+    int dst = shards_[0].kept;
+    for (int t = 1; t < T; ++t) {
+      const int lo = shard_lo(t);
+      const int kept = shards_[t].kept;
+      // dst <= lo always, so this forward copy never overruns its source;
+      // a manual loop because std::copy forbids dst == lo (self-copy).
+      for (int j = 0; j < kept; ++j) active_[dst + j] = active_[lo + j];
+      dst += kept;
+    }
+    active_.resize(dst);
+    if (record_round_times_) {
+      round_seconds_.push_back(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    std::swap(inbox_, outbox_);
+    ++round_;
+    ++epoch_;
+  }
+  return round_;
+}
+
+}  // namespace treelocal::local

@@ -1,0 +1,107 @@
+#ifndef TREELOCAL_LOCAL_PARALLEL_NETWORK_H_
+#define TREELOCAL_LOCAL_PARALLEL_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/local/network.h"
+#include "src/support/thread_pool.h"
+
+namespace treelocal::local {
+
+// Network's round pass sharded across a persistent thread pool.
+//
+// Within a round every node's OnRound is independent — sends become visible
+// only at the round barrier — so the active-node worklist is split into T
+// contiguous shards that run concurrently. The shared mutable state is
+// exactly three structures, each handled without locks or hot-path atomics:
+//   * The outbox: Send(v, p) stores through the channel table to the
+//     reverse half-edge's slot, and every channel has exactly one sender —
+//     concurrent shards write disjoint slots by construction (the same
+//     argument that makes the serial engine's last-write-wins dedup purely
+//     sender-local).
+//   * The message counter: each shard counts its own nodes' sends into a
+//     cache-line-padded slot (a node's port dedup is confined to its own
+//     shard), reduced into messages_delivered_ at the round barrier. The
+//     reduction is a sum, so per-round message counts are independent of
+//     the sharding.
+//   * Halt/compaction: a node halts only itself (one flag write, no other
+//     shard reads it until the barrier), and each shard stable-compacts its
+//     own worklist range in place; the barrier stitches the kept prefixes
+//     back into one dense worklist, preserving the engine's node order —
+//     identical to the serial compaction, with no lock anywhere.
+//
+// Determinism contract: outputs, per-round RoundStats, message counts, and
+// executed round counts are bit-identical to serial Network::Run for every
+// num_threads (enforced by the differential suites and the T-sweep stress
+// test). This holds because the Algorithm contract makes OnRound
+// order-independent within a round (see Algorithm in network.h); the shards
+// only reorder within rounds, never across the barrier.
+//
+// Per-round cost: O(sum of OnRound costs over active nodes / T) per lane
+// + O(#active / T) compaction per lane + O(T) reduction + two pool
+// synchronizations. Tail rounds with few active nodes are fork/join-bound,
+// which is why the pool keeps persistent parked workers instead of spawning.
+//
+// Reusable like Network: repeated Run calls reuse mailboxes and worklist
+// with no reallocation; epochs advance monotonically with the same wrap
+// guards. Supports NetworkOptions::relabel identically to Network.
+class ParallelNetwork {
+ public:
+  ParallelNetwork(const Graph& graph, std::vector<int64_t> ids,
+                  int num_threads);
+  ParallelNetwork(const Graph& graph, std::vector<int64_t> ids,
+                  int num_threads, const NetworkOptions& options);
+
+  // Same contract as Network::Run (same return value, same max_rounds
+  // throw, same epoch wrap guarantees). An exception thrown by OnRound on
+  // any shard is rethrown here after the round joins; the engine remains
+  // usable (the next Run re-initializes all per-run state).
+  int Run(Algorithm& alg, int max_rounds);
+
+  int num_threads() const { return pool_.num_threads(); }
+  const Graph& graph() const { return *graph_; }
+  const std::vector<int64_t>& ids() const { return ids_; }
+  int64_t messages_delivered() const { return messages_delivered_; }
+  const std::vector<RoundStats>& round_stats() const { return round_stats_; }
+
+  // Opt-in per-round wall-clock timing, as in Network (covers the full
+  // round: fork, node pass, join, reduction, stitch).
+  void set_record_round_times(bool on) { record_round_times_ = on; }
+  const std::vector<double>& round_seconds() const { return round_seconds_; }
+
+  // White-box epoch access for the wrap-guard regression tests.
+  int32_t epoch_for_testing() const { return epoch_; }
+  void set_epoch_for_testing(int32_t epoch) { epoch_ = epoch; }
+
+ private:
+  // Per-shard round state, cache-line padded: sent is the shard's message
+  // counter (NodeContext::sent_ points here), kept the size of the shard's
+  // compacted worklist range.
+  struct alignas(64) Shard {
+    int64_t sent = 0;
+    int kept = 0;
+  };
+
+  const Graph* graph_;
+  std::vector<int64_t> ids_;
+  std::vector<int> first_;      // see Network: external-indexed CSR offsets
+  std::vector<int> send_chan_;  // reverse half-edge channels
+  std::vector<int> order_;      // worklist seed (engine node order)
+  std::vector<Message> inbox_, outbox_;
+  std::vector<char> halted_;
+  std::vector<int> active_;
+  std::vector<Shard> shards_;
+  std::vector<RoundStats> round_stats_;
+  std::vector<double> round_seconds_;
+  support::ThreadPool pool_;
+  bool record_round_times_ = false;
+  int32_t epoch_ = 1;
+  int round_ = 0;
+  int64_t messages_delivered_ = 0;
+};
+
+}  // namespace treelocal::local
+
+#endif  // TREELOCAL_LOCAL_PARALLEL_NETWORK_H_

@@ -58,7 +58,7 @@ int ReferenceNetwork::Run(Algorithm& alg, int max_rounds) {
   std::fill(inbox_.begin(), inbox_.end(), Message{});
   std::fill(outbox_.begin(), outbox_.end(), Message{});
 
-  NodeContext ctx(graph_, ids_.data(), nullptr, nullptr, this);
+  NodeContext ctx(graph_, ids_.data(), nullptr, this);
   while (num_halted_ < n) {
     if (round_ >= max_rounds) {
       throw std::runtime_error("ReferenceNetwork::Run exceeded max_rounds");
