@@ -7,6 +7,7 @@
 // (outputs, per-instance round counts, message counts, per-round stats) —
 // the process exits non-zero on any divergence, which is what CI gates on —
 // and records the throughput ratio in BENCH_engine.json.
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -98,6 +99,77 @@ bool RunBatchAcceptance(const Graph& tree, const std::vector<int64_t>& ids,
   return identical;
 }
 
+// Shared-transcript dedup acceptance: a wide Thm12-style k-sweep whose tail
+// sits at or above Delta (every such instance provably shares one
+// transcript). Gates RunRakeCompressBatchDeduped's bit-identity against the
+// undeduped batch, then times the deduped engine pass (U distinct
+// instances) against the full one (B instances) — the measured per-instance
+// memory-traffic saving the dedup buys.
+bool RunDedupAcceptance(const Graph& tree, const std::vector<int64_t>& ids,
+                        int reps, bench::JsonWriter& json) {
+  const int n = tree.NumNodes();
+  const int delta = tree.MaxDegree();
+  const std::vector<int> ks = {2,  3,  4,  6,  8,   12,  16,  24,
+                               32, 48, 64, 96, 128, 192, 256, 384};
+  const int batch = static_cast<int>(ks.size());
+  // Distinct canonical parameters, order-preserving — the same dedup rule
+  // RunRakeCompressBatchDeduped applies internally.
+  std::vector<int> unique_ks;
+  for (int k : ks) {
+    const int canon = RakeCompressCanonicalK(k, delta);
+    bool seen = false;
+    for (int u : unique_ks) seen |= u == canon;
+    if (!seen) unique_ks.push_back(canon);
+  }
+  const int unique = static_cast<int>(unique_ks.size());
+  std::cout << "Dedup acceptance: k-sweep B=" << batch << " on Delta="
+            << delta << " tree collapses to U=" << unique << " instances\n";
+
+  local::BatchNetwork full_net(tree, ids, batch);
+  std::vector<RakeCompressResult> full = RunRakeCompressBatch(full_net, ks);
+  double full_s = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto t0 = Clock::now();
+    full = RunRakeCompressBatch(full_net, ks);
+    full_s = std::min(full_s, Seconds(t0));
+  }
+
+  std::vector<RakeCompressResult> deduped =
+      RunRakeCompressBatchDeduped(tree, ids, ks);
+  bool identical = true;
+  for (int b = 0; b < batch; ++b) identical &= Identical(full[b], deduped[b]);
+
+  // Engine-pass timing on the deduped instance set (pre-constructed and
+  // warmed like the full engine, so the comparison is round throughput).
+  local::BatchNetwork unique_net(tree, ids, unique);
+  RunRakeCompressBatch(unique_net, unique_ks);
+  double deduped_s = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto t0 = Clock::now();
+    RunRakeCompressBatch(unique_net, unique_ks);
+    deduped_s = std::min(deduped_s, Seconds(t0));
+  }
+
+  json.BeginRecord();
+  json.Field("source", "bench_batch");
+  json.Field("experiment", "batched_k_sweep_dedup");
+  json.Field("n", n);
+  json.Field("max_degree", delta);
+  json.Field("batch", batch);
+  json.Field("unique_instances", unique);
+  json.Field("dedup_factor", double(batch) / unique);
+  json.Field("full_seconds", full_s);
+  json.Field("deduped_seconds", deduped_s);
+  json.Field("speedup", full_s / deduped_s);
+  json.Field("transcripts_identical", identical);
+
+  std::cout << "  identical=" << (identical ? "yes" : "NO (BUG)")
+            << "  full: " << full_s << " s   deduped: " << deduped_s
+            << " s   speedup: " << full_s / deduped_s << "x ("
+            << double(batch) / unique << "x fewer instances)\n";
+  return identical;
+}
+
 }  // namespace
 }  // namespace treelocal
 
@@ -152,6 +224,7 @@ int main(int argc, char** argv) {
     for (int k = 2; k <= 33; ++k) fine.push_back(k);
     ok &= treelocal::RunBatchAcceptance(tree, ids, classic, reps, json);
     ok &= treelocal::RunBatchAcceptance(tree, ids, fine, reps, json);
+    ok &= treelocal::RunDedupAcceptance(tree, ids, reps, json);
   }
   json.MergeAs("bench_batch", "BENCH_engine.json");
   std::cout << "  wrote BENCH_engine.json\n";

@@ -29,45 +29,58 @@ int64_t CvStep(int64_t mine, int64_t parent) {
   return 2 * static_cast<int64_t>(i) + ((mine >> i) & 1);
 }
 
+// Per-node state, engine-managed: the working color plus the port of the
+// orientation parent (-1 at roots), resolved once at InitState.
+struct CvState {
+  int64_t color = 0;
+  int32_t parent_port = -1;
+};
+
 class CvAlgorithm : public local::Algorithm {
  public:
   CvAlgorithm(const Graph& g, const std::vector<int64_t>& ids,
               const std::vector<int>& parent, int iterations)
-      : g_(g), parent_(parent), iterations_(iterations) {
-    color_.resize(g.NumNodes());
-    parent_port_.resize(g.NumNodes());
+      : g_(&g), ids_(&ids), parent_(&parent), iterations_(iterations) {
+    // Validate eagerly so a bad orientation still fails at construction,
+    // not inside Run (InitState recomputes the ports from the same input).
     for (int v = 0; v < g.NumNodes(); ++v) {
-      color_[v] = ids[v];
-      parent_port_[v] = parent[v] < 0 ? -1 : g.PortOf(v, parent[v]);
-      if (parent[v] >= 0 && parent_port_[v] < 0) {
+      if (parent[v] >= 0 && g.PortOf(v, parent[v]) < 0) {
         throw std::invalid_argument("parent is not a neighbor");
       }
     }
   }
 
+  size_t StateBytes() const override { return sizeof(CvState); }
+  void InitState(int node, void* state) override {
+    auto* st = static_cast<CvState*>(state);
+    st->color = (*ids_)[node];
+    const int parent = (*parent_)[node];
+    st->parent_port = parent < 0 ? -1 : g_->PortOf(node, parent);
+  }
+
   void OnRound(local::NodeContext& ctx) override {
-    const int v = ctx.node();
+    CvState& st = ctx.State<CvState>();
     const int r = ctx.round();
     // Round plan: r in [1, K] = CV steps; then 3 blocks of (shift-down,
     // recolor) for target colors 5, 4, 3; every round rebroadcasts.
     if (r >= 1 && r <= iterations_) {
-      int64_t parent_color = ParentColor(ctx);
-      color_[v] = CvStep(color_[v], parent_color);
+      int64_t parent_color = ParentColor(ctx, st);
+      st.color = CvStep(st.color, parent_color);
     } else if (r > iterations_) {
       int phase = r - iterations_ - 1;  // 0..5
       int block = phase / 2;
       if (phase % 2 == 0) {
         // Shift-down: adopt the parent's color; roots rotate within {0,1,2}.
-        if (parent_port_[v] >= 0) {
-          color_[v] = ctx.Recv(parent_port_[v]).word0;
+        if (st.parent_port >= 0) {
+          st.color = ctx.Recv(st.parent_port).word0;
         } else {
-          color_[v] = (color_[v] + 1) % 3;
+          st.color = (st.color + 1) % 3;
         }
       } else {
         // Recolor the target class into {0,1,2}. After shift-down all
         // children of v share one color, so at most two values are blocked.
         int64_t target = 5 - block;
-        if (color_[v] == target) {
+        if (st.color == target) {
           bool blocked[3] = {false, false, false};
           for (int p = 0; p < ctx.degree(); ++p) {
             int64_t c = ctx.Recv(p).word0;
@@ -75,7 +88,7 @@ class CvAlgorithm : public local::Algorithm {
           }
           for (int64_t c = 0; c < 3; ++c) {
             if (!blocked[c]) {
-              color_[v] = c;
+              st.color = c;
               break;
             }
           }
@@ -86,29 +99,19 @@ class CvAlgorithm : public local::Algorithm {
         }
       }
     }
-    ctx.Broadcast(local::Message::Of(color_[v]));
-  }
-
-  std::vector<int> FinalColors() const {
-    std::vector<int> out(color_.size());
-    for (size_t v = 0; v < color_.size(); ++v) {
-      out[v] = static_cast<int>(color_[v]);
-    }
-    return out;
+    ctx.Broadcast(local::Message::Of(st.color));
   }
 
  private:
-  int64_t ParentColor(local::NodeContext& ctx) const {
-    const int v = ctx.node();
-    if (parent_port_[v] >= 0) return ctx.Recv(parent_port_[v]).word0;
+  static int64_t ParentColor(local::NodeContext& ctx, const CvState& st) {
+    if (st.parent_port >= 0) return ctx.Recv(st.parent_port).word0;
     // Virtual parent for roots: own color with lowest bit flipped.
-    return color_[v] ^ 1;
+    return st.color ^ 1;
   }
 
-  const Graph& g_;
-  std::vector<int> parent_;
-  std::vector<int> parent_port_;
-  std::vector<int64_t> color_;
+  const Graph* g_;
+  const std::vector<int64_t>* ids_;
+  const std::vector<int>* parent_;
   int iterations_;
 };
 
@@ -143,7 +146,11 @@ ColeVishkinResult ColeVishkinOnEngine(Engine& net, const Graph& forest,
   result.rounds = net.Run(alg, iterations + 64);
   result.messages = net.messages_delivered();
   result.round_stats = net.round_stats();
-  result.colors = alg.FinalColors();
+  result.colors.resize(forest.NumNodes());
+  for (int v = 0; v < forest.NumNodes(); ++v) {
+    result.colors[v] =
+        static_cast<int>(net.template StateAt<CvState>(v).color);
+  }
   return result;
 }
 

@@ -14,6 +14,14 @@ namespace {
 // written only when the neighbor's message is delivered — the engine
 // enforces the information flow, so a decision can never read data that
 // has not crossed an edge.
+// Per-node state, engine-managed: the node's sweep color (its scheduled
+// round). Read-only after InitState, but keeping it in the engine plane
+// means the per-round scan streams it in engine order instead of gathering
+// from a caller-side array.
+struct SweepState {
+  int64_t color = 0;
+};
+
 class NodeSweepAlgorithm : public local::Algorithm {
  public:
   NodeSweepAlgorithm(const NodeProblem& problem, const Graph& g,
@@ -21,12 +29,18 @@ class NodeSweepAlgorithm : public local::Algorithm {
                      HalfEdgeLabeling& view)
       : problem_(problem),
         g_(g),
-        colors_(colors),
+        colors_(&colors),
         num_colors_(num_colors),
         view_(view) {}
 
+  size_t StateBytes() const override { return sizeof(SweepState); }
+  void InitState(int node, void* state) override {
+    static_cast<SweepState*>(state)->color = (*colors_)[node];
+  }
+
   void OnRound(local::NodeContext& ctx) override {
     const int v = ctx.node();
+    const int64_t color = ctx.State<SweepState>().color;
     const int64_t t = ctx.round();
     // Deliver neighbor labels sent last round into the local view.
     for (int p = 0; p < ctx.degree(); ++p) {
@@ -36,7 +50,7 @@ class NodeSweepAlgorithm : public local::Algorithm {
       int u = g_.Neighbors(v)[p];
       view_.Set(e, u, msg.word0);
     }
-    if (colors_[v] == t) {
+    if (color == t) {
       // My class's round: decide from what I have received, then tell each
       // neighbor the label I chose on our shared edge.
       problem_.SequentialAssign(g_, v, view_);
@@ -45,11 +59,11 @@ class NodeSweepAlgorithm : public local::Algorithm {
         ctx.Send(p, local::Message::Of(view_.Get(e, v)));
       }
     }
-    if (t >= num_colors_ - 1 && colors_[v] < t) {
+    if (t >= num_colors_ - 1 && color < t) {
       ctx.Halt();
       return;
     }
-    if (t >= num_colors_ - 1 && colors_[v] == t) {
+    if (t >= num_colors_ - 1 && color == t) {
       // Decided in the final round; one more round lets the messages drain,
       // but nobody is left to read them — halt immediately.
       ctx.Halt();
@@ -59,7 +73,7 @@ class NodeSweepAlgorithm : public local::Algorithm {
  private:
   const NodeProblem& problem_;
   const Graph& g_;
-  const std::vector<int64_t>& colors_;
+  const std::vector<int64_t>* colors_;
   const int64_t num_colors_;
   HalfEdgeLabeling& view_;
 };

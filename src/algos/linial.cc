@@ -49,17 +49,24 @@ int64_t EvalPoly(int64_t c, int64_t q, int d, int64_t x) {
   return acc;
 }
 
+// Per-node state, engine-managed: just the current color.
+struct LinialState {
+  int64_t color = 0;
+};
+
 class LinialAlgorithm : public local::Algorithm {
  public:
-  LinialAlgorithm(const Graph& g, const std::vector<int64_t>& ids,
+  LinialAlgorithm(const std::vector<int64_t>& ids,
                   const LinialSchedule& schedule)
-      : schedule_(schedule) {
-    color_.resize(g.NumNodes());
-    for (int v = 0; v < g.NumNodes(); ++v) color_[v] = ids[v];
+      : ids_(&ids), schedule_(schedule) {}
+
+  size_t StateBytes() const override { return sizeof(LinialState); }
+  void InitState(int node, void* state) override {
+    static_cast<LinialState*>(state)->color = (*ids_)[node];
   }
 
   void OnRound(local::NodeContext& ctx) override {
-    const int v = ctx.node();
+    LinialState& st = ctx.State<LinialState>();
     const int r = ctx.round();
     if (r >= 1) {
       const LinialStep& step = schedule_.steps[r - 1];
@@ -69,7 +76,7 @@ class LinialAlgorithm : public local::Algorithm {
       // agrees with ours.
       int64_t chosen_x = -1;
       for (int64_t x = 0; x < q && chosen_x < 0; ++x) {
-        int64_t mine = EvalPoly(color_[v], q, step.d, x);
+        int64_t mine = EvalPoly(st.color, q, step.d, x);
         bool ok = true;
         for (int p = 0; p < ctx.degree(); ++p) {
           const local::Message& msg = ctx.Recv(p);
@@ -85,20 +92,18 @@ class LinialAlgorithm : public local::Algorithm {
         // Impossible when q > Delta*d: at most Delta*d points are blocked.
         throw std::logic_error("Linial step found no free point");
       }
-      color_[v] = chosen_x * q + EvalPoly(color_[v], q, step.d, chosen_x);
+      st.color = chosen_x * q + EvalPoly(st.color, q, step.d, chosen_x);
     }
     if (r == static_cast<int>(schedule_.steps.size())) {
       ctx.Halt();
       return;
     }
-    ctx.Broadcast(local::Message::Of(color_[v]));
+    ctx.Broadcast(local::Message::Of(st.color));
   }
 
-  const std::vector<int64_t>& colors() const { return color_; }
-
  private:
+  const std::vector<int64_t>* ids_;
   const LinialSchedule& schedule_;
-  std::vector<int64_t> color_;
 };
 
 }  // namespace
@@ -141,12 +146,15 @@ LinialResult RunLinialOnEngine(Engine& net, const Graph& g,
   // IDs may take the value id_space itself (inclusive spaces upstream);
   // schedule from id_space + 1 so every initial color is strictly below m.
   LinialSchedule schedule = BuildLinialSchedule(id_space + 1, g.MaxDegree());
-  LinialAlgorithm alg(g, ids, schedule);
+  LinialAlgorithm alg(ids, schedule);
   result.rounds =
       net.Run(alg, static_cast<int>(schedule.steps.size()) + 2);
   result.messages = net.messages_delivered();
   result.round_stats = net.round_stats();
-  result.colors = alg.colors();
+  result.colors.resize(g.NumNodes());
+  for (int v = 0; v < g.NumNodes(); ++v) {
+    result.colors[v] = net.template StateAt<LinialState>(v).color;
+  }
   result.num_colors = schedule.final_colors;
   return result;
 }

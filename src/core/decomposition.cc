@@ -14,16 +14,24 @@ namespace {
 constexpr int64_t kDegree = 1;
 constexpr int64_t kMarked = 2;
 
+// Per-node state, engine-managed (see Algorithm::StateBytes).
+struct DecompState {
+  int32_t layer = 0;  // 1-based; 0 = unmarked
+  int32_t unmarked_degree = 0;
+};
+
 class DecompositionAlgorithm : public local::Algorithm {
  public:
-  DecompositionAlgorithm(const Graph& g, int b, int k) : b_(b), k_(k) {
-    layer_.assign(g.NumNodes(), 0);
-    unmarked_degree_.resize(g.NumNodes());
-    for (int v = 0; v < g.NumNodes(); ++v) unmarked_degree_[v] = g.Degree(v);
+  DecompositionAlgorithm(const Graph& g, int b, int k)
+      : g_(&g), b_(b), k_(k) {}
+
+  size_t StateBytes() const override { return sizeof(DecompState); }
+  void InitState(int node, void* state) override {
+    static_cast<DecompState*>(state)->unmarked_degree = g_->Degree(node);
   }
 
   void OnRound(local::NodeContext& ctx) override {
-    const int v = ctx.node();
+    DecompState& st = ctx.State<DecompState>();
     const int r = ctx.round();
     const int iter = r / 2 + 1;
     if (r % 2 == 0) {
@@ -31,32 +39,29 @@ class DecompositionAlgorithm : public local::Algorithm {
       // broadcast the current degree in the unmarked subgraph.
       for (int p = 0; p < ctx.degree(); ++p) {
         const local::Message& msg = ctx.Recv(p);
-        if (msg.present() && msg.word0 == kMarked) --unmarked_degree_[v];
+        if (msg.present() && msg.word0 == kMarked) --st.unmarked_degree;
       }
-      ctx.Broadcast(local::Message::Of(kDegree, unmarked_degree_[v]));
+      ctx.Broadcast(local::Message::Of(kDegree, st.unmarked_degree));
     } else {
       // Compress(G[V_{i-1}], b, k): deg <= k and at most b large neighbors.
-      if (unmarked_degree_[v] > k_) return;
+      if (st.unmarked_degree > k_) return;
       int large = 0;
       for (int p = 0; p < ctx.degree(); ++p) {
         const local::Message& msg = ctx.Recv(p);
         if (msg.present() && msg.word0 == kDegree && msg.word1 > k_) ++large;
       }
       if (large <= b_) {
-        layer_[v] = iter;
+        st.layer = iter;
         ctx.Broadcast(local::Message::Of(kMarked));
         ctx.Halt();
       }
     }
   }
 
-  const std::vector<int>& layer() const { return layer_; }
-
  private:
+  const Graph* g_;
   const int b_;
   const int k_;
-  std::vector<int> layer_;
-  std::vector<int> unmarked_degree_;
 };
 
 }  // namespace
@@ -92,8 +97,9 @@ DecompositionResult RunDecomposition(local::Network& net, int a, int b,
   result.engine_rounds = net.Run(alg, 2 * (2 * bound + 8));
   result.messages = net.messages_delivered();
   result.round_stats = net.round_stats();
-  result.layer = alg.layer();
+  result.layer.resize(g.NumNodes());
   for (int v = 0; v < g.NumNodes(); ++v) {
+    result.layer[v] = net.StateAt<DecompState>(v).layer;
     assert(result.layer[v] > 0 && "all nodes must be marked (Lemma 13)");
     result.num_layers = std::max(result.num_layers, result.layer[v]);
   }

@@ -19,29 +19,38 @@ constexpr int64_t kDegree = 1;      // word1 = current unmarked-degree
 constexpr int64_t kCompressed = 2;  // "I was just compressed"
 constexpr int64_t kRaked = 3;       // "I was just raked"
 
+// Per-node state, engine-managed (Algorithm::StateBytes): lives in the
+// engine's internal-indexed plane, so it streams in worklist order under
+// NetworkOptions::relabel and packs instance-major under BatchNetwork.
+struct RcState {
+  int32_t unmarked_degree = 0;
+  int32_t iteration = 0;  // 1-based; 0 = unmarked
+  int8_t compressed = 0;
+};
+
 class RakeCompressAlgorithm : public local::Algorithm {
  public:
-  RakeCompressAlgorithm(const Graph& g, int k) : k_(k) {
-    iteration_.assign(g.NumNodes(), 0);
-    compressed_.assign(g.NumNodes(), 0);
-    unmarked_degree_.resize(g.NumNodes());
-    for (int v = 0; v < g.NumNodes(); ++v) unmarked_degree_[v] = g.Degree(v);
+  RakeCompressAlgorithm(const Graph& g, int k) : g_(&g), k_(k) {}
+
+  size_t StateBytes() const override { return sizeof(RcState); }
+  void InitState(int node, void* state) override {
+    static_cast<RcState*>(state)->unmarked_degree = g_->Degree(node);
   }
 
   void OnRound(local::NodeContext& ctx) override {
-    const int v = ctx.node();
+    RcState& st = ctx.State<RcState>();
     const int r = ctx.round();
     const int phase = r % 3;
     const int iter = r / 3 + 1;  // 1-based iteration
     if (phase == 0) {
       // Process rake announcements from the previous iteration, then
       // broadcast the current degree within the unmarked subgraph.
-      ConsumeMarks(ctx);
-      ctx.Broadcast(local::Message::Of(kDegree, unmarked_degree_[v]));
+      ConsumeMarks(ctx, st);
+      ctx.Broadcast(local::Message::Of(kDegree, st.unmarked_degree));
     } else if (phase == 1) {
       // Compress decision: deg <= k and every unmarked neighbor <= k.
       const int deg = ctx.degree();
-      bool all_small = unmarked_degree_[v] <= k_;
+      bool all_small = st.unmarked_degree <= k_;
       for (int p = 0; p < deg && all_small; ++p) {
         const local::Message& msg = ctx.Recv(p);
         if (msg.present() && msg.word0 == kDegree && msg.word1 > k_) {
@@ -49,30 +58,26 @@ class RakeCompressAlgorithm : public local::Algorithm {
         }
       }
       if (all_small) {
-        iteration_[v] = iter;
-        compressed_[v] = 1;
+        st.iteration = iter;
+        st.compressed = 1;
         ctx.Broadcast(local::Message::Of(kCompressed));
         ctx.Halt();
       }
     } else {
       // Rake decision: at most 1 unmarked, non-just-compressed neighbor.
-      ConsumeMarks(ctx);
-      if (unmarked_degree_[v] <= 1) {
-        iteration_[v] = iter;
-        compressed_[v] = 0;
+      ConsumeMarks(ctx, st);
+      if (st.unmarked_degree <= 1) {
+        st.iteration = iter;
+        st.compressed = 0;
         ctx.Broadcast(local::Message::Of(kRaked));
         ctx.Halt();
       }
     }
   }
 
-  const std::vector<int>& iteration() const { return iteration_; }
-  const std::vector<char>& compressed() const { return compressed_; }
-
  private:
   // Decrements the live-degree for every neighbor announcing a mark.
-  void ConsumeMarks(local::NodeContext& ctx) {
-    const int v = ctx.node();
+  void ConsumeMarks(local::NodeContext& ctx, RcState& st) {
     const int deg = ctx.degree();
     int marks = 0;
     for (int p = 0; p < deg; ++p) {
@@ -80,19 +85,25 @@ class RakeCompressAlgorithm : public local::Algorithm {
       marks += msg.present() &&
                (msg.word0 == kCompressed || msg.word0 == kRaked);
     }
-    unmarked_degree_[v] -= marks;
+    st.unmarked_degree -= marks;
   }
 
+  const Graph* g_;
   const int k_;
-  std::vector<int> iteration_;
-  std::vector<char> compressed_;
-  std::vector<int> unmarked_degree_;
 };
 
 }  // namespace
 
 int RakeCompressIterationBound(int64_t n, int k) {
   return CeilLogBase(n, k) + 1;
+}
+
+int RakeCompressCanonicalK(int k, int max_degree) {
+  // The transcript depends on k only below the max degree: with k >= Delta
+  // every node passes the Compress predicate in iteration 1. The floor of 2
+  // keeps the canon a valid parameter on low-degree forests (where every
+  // valid k >= 2 >= Delta already shares one transcript).
+  return std::min(k, std::max(max_degree, 2));
 }
 
 RakeCompressResult RunRakeCompress(const Graph& tree,
@@ -122,9 +133,15 @@ RakeCompressResult RunRakeCompressOnEngine(Engine& net, int k) {
   result.engine_rounds = net.Run(alg, 3 * (2 * bound + 8));
   result.messages = net.messages_delivered();
   result.round_stats = net.round_stats();
-  result.iteration = alg.iteration();
-  result.compressed = alg.compressed();
-  for (int v = 0; v < tree.NumNodes(); ++v) {
+  const int n = tree.NumNodes();
+  result.iteration.resize(n);
+  result.compressed.resize(n);
+  for (int v = 0; v < n; ++v) {
+    // Read back from the engine's state plane (external node indexing at
+    // this boundary; the engine undoes any internal relabeling).
+    const RcState& st = net.template StateAt<RcState>(v);
+    result.iteration[v] = st.iteration;
+    result.compressed[v] = st.compressed;
     assert(result.iteration[v] > 0 && "all nodes must be marked (Lemma 9)");
     result.num_iterations =
         std::max(result.num_iterations, result.iteration[v]);
@@ -182,19 +199,54 @@ std::vector<RakeCompressResult> RunRakeCompressBatch(
           "rake-compress instance exceeded its own round budget");
     }
   }
+  const int n = tree.NumNodes();
   for (int b = 0; b < batch; ++b) {
     RakeCompressResult& result = results[b];
     result.engine_rounds = rounds[b];
     result.messages = net.messages_delivered(b);
     result.round_stats = net.round_stats(b);
-    result.iteration = algs[b]->iteration();
-    result.compressed = algs[b]->compressed();
-    for (int v = 0; v < tree.NumNodes(); ++v) {
+    result.iteration.resize(n);
+    result.compressed.resize(n);
+    for (int v = 0; v < n; ++v) {
+      const RcState& st = net.StateAt<RcState>(b, v);
+      result.iteration[v] = st.iteration;
+      result.compressed[v] = st.compressed;
       assert(result.iteration[v] > 0 && "all nodes must be marked (Lemma 9)");
       result.num_iterations =
           std::max(result.num_iterations, result.iteration[v]);
     }
   }
+  return results;
+}
+
+std::vector<RakeCompressResult> RunRakeCompressBatchDeduped(
+    const Graph& tree, const std::vector<int64_t>& ids,
+    const std::vector<int>& ks, int num_threads) {
+  for (int k : ks) {
+    if (k < 2) throw std::invalid_argument("rake-compress requires k >= 2");
+  }
+  std::vector<RakeCompressResult> results(ks.size());
+  if (ks.empty() || tree.NumNodes() == 0) return results;
+
+  // Group by canonical parameter (see RakeCompressCanonicalK); the scan is
+  // O(|ks|^2) on a handful of ints.
+  std::vector<int> unique_ks;
+  std::vector<size_t> slot(ks.size());
+  for (size_t i = 0; i < ks.size(); ++i) {
+    const int canon = RakeCompressCanonicalK(ks[i], tree.MaxDegree());
+    size_t j = 0;
+    while (j < unique_ks.size() && unique_ks[j] != canon) ++j;
+    if (j == unique_ks.size()) unique_ks.push_back(canon);
+    slot[i] = j;
+  }
+
+  // The engine is sized to the deduped sweep — this is where the memory
+  // (and traffic) saving comes from, so dedup must precede construction.
+  local::ParallelBatchNetwork net(
+      tree, ids, static_cast<int>(unique_ks.size()), num_threads);
+  std::vector<RakeCompressResult> unique_results =
+      RunRakeCompressBatch(net, unique_ks);
+  for (size_t i = 0; i < ks.size(); ++i) results[i] = unique_results[slot[i]];
   return results;
 }
 

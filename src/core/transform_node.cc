@@ -115,16 +115,16 @@ std::vector<Thm12Result> SolveNodeProblemOnTreeBatch(
   std::vector<Thm12Result> results(ks.size());
   if (ks.empty()) return results;
 
-  // Phase 1 for all k at once: one batched engine pass over the shared tree
-  // (an empty tree degenerates inside RunRakeCompressBatch, which still
+  // Phase 1 for all k at once: one batched engine pass over the shared
+  // tree, with shared-transcript dedup — sweep entries at or above the
+  // tree's max degree provably share one transcript, so the engine runs
+  // (and allocates) only the distinct instances and the results fan back
+  // out bit-identically (an empty tree degenerates inside, which still
   // validates every k, matching the solo path). num_threads > 1 shards the
-  // instance slices (ParallelBatchNetwork mode) — RunRakeCompressBatch takes
-  // the engine by base reference, so the sharded form composes unchanged.
+  // deduped instance slices (ParallelBatchNetwork mode).
   {
-    local::ParallelBatchNetwork net(tree, ids, static_cast<int>(ks.size()),
-                                    num_threads);
     std::vector<RakeCompressResult> decompositions =
-        RunRakeCompressBatch(net, ks);
+        RunRakeCompressBatchDeduped(tree, ids, ks, num_threads);
     for (size_t b = 0; b < ks.size(); ++b) {
       results[b].rake_compress = std::move(decompositions[b]);
     }

@@ -106,6 +106,38 @@ std::vector<int> BatchNetwork::Run(const std::vector<Algorithm*>& algs,
   const int n = graph_->NumNodes();
   const int B = batch_;
   const int S = static_cast<int>(shards_.size());
+
+  // Engine-managed state: one instance-major plane per instance (layout
+  // mirrors the staging buffer, so the cache-blocked node pass streams each
+  // instance's state sequentially). A batch is one shared pass, so every
+  // instance must declare the same slot size.
+  const size_t stride = algs[0]->StateBytes();
+  for (const Algorithm* alg : algs) {
+    if (alg->StateBytes() != stride) {
+      throw std::invalid_argument(
+          "BatchNetwork::Run requires one uniform Algorithm::StateBytes "
+          "across the batch");
+    }
+  }
+  state_stride_ = stride;
+  state_plane_bytes_ = stride * static_cast<size_t>(n);
+  const size_t state_total = state_plane_bytes_ * static_cast<size_t>(B);
+  if (state_.capacity() < state_total) {
+    // Same hugepage treatment as the mailboxes: advise before the fill
+    // faults the pages in. Re-arms with no reallocation once warm.
+    state_.reserve(state_total);
+    AdviseHugePages(state_.data(), state_total);
+  }
+  state_.assign(state_total, 0);
+  if (stride > 0) {
+    for (int b = 0; b < B; ++b) {
+      unsigned char* plane = state_.data() + state_plane_bytes_ * b;
+      for (int v = 0; v < n; ++v) {
+        algs[b]->InitState(v, plane + static_cast<size_t>(v) * stride);
+      }
+    }
+  }
+
   round_ = 0;
   std::fill(messages_delivered_.begin(), messages_delivered_.end(), 0);
   for (auto& stats : round_stats_) stats.clear();
@@ -156,10 +188,16 @@ std::vector<int> BatchNetwork::Run(const std::vector<Algorithm*>& algs,
       const int hi = std::min(lo + kChunk, active_now);
       for (int b : sh.live) {
         ctx.instance_ = b;
+        // This instance's state plane: within the (chunk, instance) slice
+        // the slots below stream in ascending node order, right next to
+        // the instance's staging plane.
+        unsigned char* const state_plane =
+            state_.data() + state_plane_bytes_ * b;
         for (int i = lo; i < hi; ++i) {
           const int v = active_[i];
           if (halted_[static_cast<size_t>(v) * B + b]) continue;
           ctx.node_ = v;
+          ctx.state_ = state_plane + static_cast<size_t>(v) * state_stride_;
           algs[b]->OnRound(ctx);
           ++round_active_[b];
         }

@@ -87,6 +87,20 @@ std::vector<int> WorklistOrder(int n, const std::vector<int>& perm) {
   return order;
 }
 
+void ArmStatePlane(Algorithm& alg, int n, const int* inv,
+                   std::vector<unsigned char>& plane, size_t& stride) {
+  stride = alg.StateBytes();
+  // assign() reuses capacity, so repeated Runs of same-sized algorithms
+  // re-arm with no reallocation (the Network reuse contract).
+  plane.assign(stride * static_cast<size_t>(n), 0);
+  if (stride == 0) return;
+  unsigned char* base = plane.data();
+  for (int i = 0; i < n; ++i) {
+    alg.InitState(inv == nullptr ? i : inv[i],
+                  base + static_cast<size_t>(i) * stride);
+  }
+}
+
 }  // namespace internal
 
 Network::Network(const Graph& graph, std::vector<int64_t> ids)
@@ -104,6 +118,7 @@ Network::Network(const Graph& graph, std::vector<int64_t> ids,
   internal::BuildChannelTables(graph, perm.empty() ? nullptr : perm.data(),
                                first_, send_chan_);
   order_ = internal::WorklistOrder(n, perm);
+  perm_ = std::move(perm);
 
   inbox_.assign(channels, Message{});
   outbox_.assign(channels, Message{});
@@ -132,7 +147,15 @@ int Network::Run(Algorithm& alg, int max_rounds) {
   }
   epoch_ += 2;
   std::fill(halted_.begin(), halted_.end(), 0);
-  active_ = order_;
+  // The worklist holds INTERNAL ranks; external ids come from order_ at
+  // visit time, so the state plane below is walked in rank (= worklist)
+  // order every round, relabeled or not.
+  const int n = graph_->NumNodes();
+  active_.resize(n);
+  std::iota(active_.begin(), active_.end(), 0);
+  internal::ArmStatePlane(alg, n, order_.data(), state_, state_stride_);
+  unsigned char* const state_base = state_.data();
+  const size_t stride = state_stride_;
 
   NodeContext ctx(graph_, ids_.data(), nullptr, nullptr);
   ctx.first_ = first_.data();
@@ -164,12 +187,16 @@ int Network::Run(Algorithm& alg, int max_rounds) {
     const int64_t sent_before = messages_delivered_;
     // Run all active nodes, compacting halted ones out in place (stable:
     // the engine's node order is preserved, matching the reference engine).
+    // Both the external-id lookup (order_) and the state slot stream in
+    // ascending rank order.
     size_t kept = 0;
-    for (int i = 0; i < active_now; ++i) {
-      const int v = active_[i];
+    for (int idx = 0; idx < active_now; ++idx) {
+      const int i = active_[idx];
+      const int v = order_[i];
       ctx.node_ = v;
+      ctx.state_ = state_base + static_cast<size_t>(i) * stride;
       alg.OnRound(ctx);
-      active_[kept] = v;
+      active_[kept] = i;
       kept += halted_[v] ? 0 : 1;
     }
     active_.resize(kept);

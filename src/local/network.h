@@ -50,8 +50,12 @@ struct NetworkOptions {
   // engine: NodeContext::node() and every output stay in the caller's
   // external node numbering, and transcripts are bit-identical to a
   // non-relabeled run (enforced by tests) — only the iteration order within
-  // a round and the physical mailbox layout change, neither of which is
-  // observable in the LOCAL model.
+  // a round and the physical mailbox/state layout change, neither of which
+  // is observable in the LOCAL model. Engine-managed algorithm state
+  // (Algorithm::StateBytes) is laid out in the same internal order, so the
+  // round pass streams state sequentially under relabel too — without that,
+  // relabel won its head round but lost rounds 1+ to scattered
+  // external-indexed state arrays (measured net ~0.96x; see ROADMAP).
   bool relabel = false;
 };
 
@@ -59,6 +63,7 @@ class Network;
 class ParallelNetwork;
 class BatchNetwork;
 class ReferenceNetwork;
+class Algorithm;
 
 namespace internal {
 // Out-of-line hooks for the reference engine's NodeContext paths; defined in
@@ -84,6 +89,15 @@ std::vector<int> BfsOrder(const Graph& graph);
 // Initial worklist order: external node ids sorted by internal rank
 // (identity when perm is null). The engines run rounds in this order.
 std::vector<int> WorklistOrder(int n, const std::vector<int>& perm);
+
+// Arms an engine-managed state plane for a Run: (re)sizes `plane` to
+// n * Algorithm::StateBytes() zeroed bytes (reusing capacity across runs)
+// and calls InitState once per node. Slot i belongs to external node
+// inv[i] (inv null = identity), i.e. the plane is INTERNAL-indexed: under
+// relabel, slot order is BFS worklist order. Shared by Network,
+// ParallelNetwork, and ReferenceNetwork (where inv is always null).
+void ArmStatePlane(Algorithm& alg, int n, const int* inv,
+                   std::vector<unsigned char>& plane, size_t& stride);
 }  // namespace internal
 
 // Per-node view handed to Algorithm::OnRound. In the LOCAL model (Definition
@@ -132,6 +146,16 @@ class NodeContext {
   // outgoing channels fall silent (stale epoch stamps, never re-cleared).
   inline void Halt();
 
+  // Typed reference to this node's engine-managed state slot (see
+  // Algorithm::StateBytes). Zero-cost on every engine: the engine aims the
+  // pointer at the slot before each OnRound/InitState-adjacent visit, so
+  // the accessor is a cast, not a lookup. sizeof(T) must not exceed the
+  // declared StateBytes(); calling this with StateBytes() == 0 is invalid.
+  template <typename T>
+  T& State() const {
+    return *static_cast<T*>(state_);
+  }
+
  private:
   friend class Network;
   friend class ParallelNetwork;
@@ -168,28 +192,63 @@ class NodeContext {
   int32_t* batch_dirty_stamp_ = nullptr;
   std::vector<int>* batch_dirty_ = nullptr;
 
+  // This node's slot in the engine's state plane, re-aimed by the engine
+  // before every OnRound call (null when StateBytes() == 0). The engine
+  // does the internal-rank / instance-plane addressing; the accessor above
+  // stays a bare cast.
+  void* state_ = nullptr;
+
   int node_ = 0;
   int round_ = 0;
   int instance_ = 0;
 };
 
-// A distributed algorithm: one object, per-node state kept by the
-// implementation in arrays indexed by node. OnRound is invoked once per node
-// per round (round 0 included, with empty inboxes) until every node halts.
+// A distributed algorithm. OnRound is invoked once per node per round
+// (round 0 included, with empty inboxes) until every node halts.
+//
+// Per-node state lives in an ENGINE-MANAGED state plane: the algorithm
+// declares a fixed-size POD slot via StateBytes(), initializes each node's
+// slot in InitState(), and reads/writes it through NodeContext::State<T>().
+// The engine owns the storage and lays it out ITS way — indexed by internal
+// rank, so under NetworkOptions::relabel the state walks in BFS worklist
+// order alongside the mailboxes instead of streaming scattered, and under
+// BatchNetwork it is packed instance-major next to the staging planes. This
+// is what lets one Algorithm implementation hit every engine's best memory
+// layout without knowing which engine is running it. Algorithms with no
+// per-node state (or legacy ones keeping their own node-indexed arrays)
+// return 0 from StateBytes() and everything behaves as before — but
+// engine-side layouts (relabel, batching) can then no longer help their
+// state locality, which measurably costs on big inputs.
 //
 // Determinism contract (what makes every engine in this family produce
 // bit-identical transcripts): within a round, OnRound for node v may read
-// and write only v's own per-node state, read its inbox, send on its own
+// and write only v's own state slot (plus any v-indexed state the
+// implementation still keeps itself), read its inbox, send on its own
 // ports, and halt itself. Sends become visible at the round barrier, so the
 // order in which nodes run within a round — serial index order, relabeled
 // order, or sharded across threads — cannot leak into outputs, RoundStats,
-// or message counts. Every algorithm in this repository satisfies this by
-// construction (per-node RNG included), and the differential suites enforce
-// it across all engines.
+// or message counts. InitState must likewise depend only on (node, captured
+// construction inputs), never on the unspecified order of InitState calls.
+// Every algorithm in this repository satisfies this by construction, and
+// the differential suites enforce it across all engines.
 class Algorithm {
  public:
   virtual ~Algorithm() = default;
   virtual void OnRound(NodeContext& ctx) = 0;
+
+  // Size in bytes of the per-node state slot the engine must provide, or 0
+  // for none. Must be constant over the algorithm's lifetime, and — because
+  // slots are packed at exactly this stride from a new[]-aligned base —
+  // a multiple of the state type's alignment (sizeof(T) always qualifies).
+  virtual size_t StateBytes() const { return 0; }
+
+  // Called once per external node before round 0 of every Run, with `state`
+  // pointing at the node's zero-initialized slot. Call order across nodes
+  // is engine-chosen and unspecified (internal-rank order in practice).
+  virtual void InitState(int node, void* state) {
+    (void)node;
+    (void)state;
+  }
 };
 
 // Synchronous message-passing engine over a port-numbered network, per the
@@ -269,6 +328,16 @@ class Network {
   void set_record_round_times(bool on) { record_round_times_ = on; }
   const std::vector<double>& round_seconds() const { return round_seconds_; }
 
+  // Post-run read-back of external node v's state slot (the engine does the
+  // external->internal translation here, off the hot path). T must be the
+  // algorithm's declared state type; valid until the next Run.
+  template <typename T>
+  const T& StateAt(int v) const {
+    const auto i = static_cast<size_t>(perm_.empty() ? v : perm_[v]);
+    return *reinterpret_cast<const T*>(state_.data() + i * state_stride_);
+  }
+  size_t state_bytes() const { return state_stride_; }
+
   // White-box access to the epoch counter for the wrap-guard regression
   // tests; production code never touches these.
   int32_t epoch_for_testing() const { return epoch_; }
@@ -283,13 +352,24 @@ class Network {
                                 // (v, p) is first_[v] + p
   std::vector<int> send_chan_;  // size 2m: send channel of (v, p), i.e. the
                                 // channel of the reverse half-edge
-  std::vector<int> order_;      // worklist seed: external ids in engine order
-                                // (iota, or BFS under options.relabel)
+  std::vector<int> order_;      // internal rank -> external id (iota, or BFS
+                                // under options.relabel)
+  std::vector<int> perm_;       // external id -> internal rank; empty =
+                                // identity (no relabel)
   // Double-buffered mailboxes, each slot epoch-stamped in the Message's
   // engine_stamp field; swapped (O(1)) each round, never cleared.
   std::vector<Message> inbox_, outbox_;
   std::vector<char> halted_;
-  std::vector<int> active_;  // worklist of non-halted nodes, engine order
+  std::vector<int> active_;  // worklist of non-halted INTERNAL ranks, engine
+                             // order; rank i's state slot and external id
+                             // (order_[i]) ride along in rank order, so the
+                             // state plane streams sequentially even under
+                             // relabel — the whole point of internal indexing
+  // Engine-owned per-node state plane (Algorithm::StateBytes per slot),
+  // indexed by internal rank; re-armed (zero + InitState) every Run,
+  // reallocated only when the slot size changes.
+  std::vector<unsigned char> state_;
+  size_t state_stride_ = 0;
   std::vector<RoundStats> round_stats_;
   std::vector<double> round_seconds_;
   bool record_round_times_ = false;
@@ -353,9 +433,11 @@ class Network {
 //   * Instances are fully independent: instance b's transcript (outputs,
 //     per-instance round count, message count, per-round RoundStats) is
 //     bit-identical to `Network::Run(*algs[b], max_rounds)` on the same
-//     graph and IDs. Channels of different instances never alias; algorithm
-//     state lives in the caller's per-instance Algorithm objects (the usual
-//     pattern — existing Algorithm implementations run unmodified). An
+//     graph and IDs. Channels and state planes of different instances never
+//     alias: instance b's engine-managed state (Algorithm::StateBytes,
+//     which every instance must declare identically) lives in its own
+//     instance-major plane. Legacy per-instance state kept inside the
+//     caller's Algorithm objects still works (StateBytes() == 0); an
 //     algorithm sharing one object across instances can key per-instance
 //     state on NodeContext::instance().
 //   * Per-instance halting: a (node, instance) pair halts independently;
@@ -404,6 +486,15 @@ class BatchNetwork {
     return round_stats_[instance];
   }
 
+  // Post-run read-back of instance `instance`'s state slot for node v.
+  template <typename T>
+  const T& StateAt(int instance, int v) const {
+    return *reinterpret_cast<const T*>(state_.data() +
+                                       state_plane_bytes_ * instance +
+                                       static_cast<size_t>(v) * state_stride_);
+  }
+  size_t state_bytes() const { return state_stride_; }
+
   // White-box epoch access for the wrap-guard regression tests.
   int32_t epoch_for_testing() const { return epoch_; }
   void set_epoch_for_testing(int32_t epoch) { epoch_ = epoch; }
@@ -434,6 +525,15 @@ class BatchNetwork {
   // The round-end scatter converts between the two layouts.
   std::vector<Message> stage_, inbox_;
   size_t plane_ = 0;  // stage_ plane stride == channel count
+  // Engine-owned algorithm state, laid out instance-MAJOR exactly like the
+  // staging buffer: one contiguous n-slot plane per instance, so the
+  // cache-blocked (chunk, instance) node pass streams each instance's state
+  // sequentially next to its staging plane instead of gathering from B
+  // caller-side arrays. Re-armed every Run; requires every instance to
+  // declare the same StateBytes (enforced in Run).
+  std::vector<unsigned char> state_;
+  size_t state_stride_ = 0;       // bytes per (node, instance) slot
+  size_t state_plane_bytes_ = 0;  // bytes per instance plane == n * stride
   std::vector<Shard> shards_;
   std::vector<char> halted_;          // (node, instance): v * batch_ + b
   // Per node: # instances not halted. Relaxed atomic so instance shards on

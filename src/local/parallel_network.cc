@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <numeric>
 #include <stdexcept>
 
 namespace treelocal::local {
@@ -24,6 +25,7 @@ ParallelNetwork::ParallelNetwork(const Graph& graph, std::vector<int64_t> ids,
   internal::BuildChannelTables(graph, perm.empty() ? nullptr : perm.data(),
                                first_, send_chan_);
   order_ = internal::WorklistOrder(n, perm);
+  perm_ = std::move(perm);
 
   inbox_.assign(channels, Message{});
   outbox_.assign(channels, Message{});
@@ -47,7 +49,15 @@ int ParallelNetwork::Run(Algorithm& alg, int max_rounds) {
   }
   epoch_ += 2;
   std::fill(halted_.begin(), halted_.end(), 0);
-  active_ = order_;
+  // Internal-rank worklist + internal-indexed state plane, as in Network;
+  // the single InitState pass runs on the calling thread (per-node init is
+  // order-independent by contract, and Run-setup cost is not sharded).
+  const int n = graph_->NumNodes();
+  active_.resize(n);
+  std::iota(active_.begin(), active_.end(), 0);
+  internal::ArmStatePlane(alg, n, order_.data(), state_, state_stride_);
+  unsigned char* const state_base = state_.data();
+  const size_t stride = state_stride_;
 
   // One context per shard: identical CSR views except for the per-shard
   // message counter slot. Rebuilt per Run (T small), reusing no heap.
@@ -79,13 +89,17 @@ int ParallelNetwork::Run(Algorithm& alg, int max_rounds) {
     NodeContext& ctx = ctxs[t];
     int* work = active_.data();
     // Stable in-place compaction of this shard's own range, exactly the
-    // serial engine's loop restricted to [lo, hi).
+    // serial engine's loop restricted to [lo, hi). Worklist entries are
+    // internal ranks; each node touches only its own state slot, so the
+    // shared plane needs no synchronization (see StateAt).
     int kept = lo;
-    for (int i = lo; i < hi; ++i) {
-      const int v = work[i];
+    for (int idx = lo; idx < hi; ++idx) {
+      const int i = work[idx];
+      const int v = order_[i];
       ctx.node_ = v;
+      ctx.state_ = state_base + static_cast<size_t>(i) * stride;
       alg.OnRound(ctx);
-      work[kept] = v;
+      work[kept] = i;
       kept += halted_[v] ? 0 : 1;
     }
     shards_[t].kept = kept - lo;

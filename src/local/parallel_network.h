@@ -66,6 +66,17 @@ class ParallelNetwork {
   int64_t messages_delivered() const { return messages_delivered_; }
   const std::vector<RoundStats>& round_stats() const { return round_stats_; }
 
+  // Post-run read-back of external node v's engine-managed state slot, as
+  // in Network::StateAt. The plane itself is shared by all shards during a
+  // round, but every node writes only its own slot — the same disjointness
+  // argument as the halt flags, so no locks and no atomics.
+  template <typename T>
+  const T& StateAt(int v) const {
+    const auto i = static_cast<size_t>(perm_.empty() ? v : perm_[v]);
+    return *reinterpret_cast<const T*>(state_.data() + i * state_stride_);
+  }
+  size_t state_bytes() const { return state_stride_; }
+
   // Opt-in per-round wall-clock timing, as in Network (covers the full
   // round: fork, node pass, join, reduction, stitch).
   void set_record_round_times(bool on) { record_round_times_ = on; }
@@ -88,10 +99,13 @@ class ParallelNetwork {
   std::vector<int64_t> ids_;
   std::vector<int> first_;      // see Network: external-indexed CSR offsets
   std::vector<int> send_chan_;  // reverse half-edge channels
-  std::vector<int> order_;      // worklist seed (engine node order)
+  std::vector<int> order_;      // internal rank -> external id
+  std::vector<int> perm_;       // external id -> internal rank (empty = id.)
   std::vector<Message> inbox_, outbox_;
   std::vector<char> halted_;
-  std::vector<int> active_;
+  std::vector<int> active_;     // worklist of internal ranks (see Network)
+  std::vector<unsigned char> state_;  // internal-indexed state plane
+  size_t state_stride_ = 0;
   std::vector<Shard> shards_;
   std::vector<RoundStats> round_stats_;
   std::vector<double> round_seconds_;

@@ -57,6 +57,7 @@ int ReferenceNetwork::Run(Algorithm& alg, int max_rounds) {
   std::fill(halted_.begin(), halted_.end(), 0);
   std::fill(inbox_.begin(), inbox_.end(), Message{});
   std::fill(outbox_.begin(), outbox_.end(), Message{});
+  internal::ArmStatePlane(alg, n, nullptr, state_, state_stride_);
 
   NodeContext ctx(graph_, ids_.data(), nullptr, this);
   while (num_halted_ < n) {
@@ -68,6 +69,7 @@ int ReferenceNetwork::Run(Algorithm& alg, int max_rounds) {
     for (int v = 0; v < n; ++v) {
       if (halted_[v]) continue;
       ctx.node_ = v;
+      ctx.state_ = state_.data() + static_cast<size_t>(v) * state_stride_;
       alg.OnRound(ctx);
     }
     // Deliver: what was sent this round is readable next round.

@@ -29,6 +29,15 @@ class ReferenceNetwork {
   int64_t messages_delivered() const { return messages_delivered_; }
   const std::vector<RoundStats>& round_stats() const { return round_stats_; }
 
+  // Post-run read-back of node v's engine-managed state slot (the naive
+  // engine keeps the plane external-indexed — no relabeling here).
+  template <typename T>
+  const T& StateAt(int v) const {
+    return *reinterpret_cast<const T*>(state_.data() +
+                                       static_cast<size_t>(v) * state_stride_);
+  }
+  size_t state_bytes() const { return state_stride_; }
+
   // Channel primitives used by NodeContext's reference dispatch (and handy
   // for white-box tests).
   const Message& RecvAt(int node, int port) const;
@@ -43,6 +52,8 @@ class ReferenceNetwork {
   std::vector<int64_t> ids_;
   std::vector<Message> inbox_;   // indexed by receiving channel
   std::vector<Message> outbox_;  // indexed by sending channel
+  std::vector<unsigned char> state_;  // external-indexed state plane
+  size_t state_stride_ = 0;
   std::vector<char> halted_;
   std::vector<RoundStats> round_stats_;
   int round_ = 0;

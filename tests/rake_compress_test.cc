@@ -185,5 +185,60 @@ TEST(RakeCompressEdgeCases, DeterministicAcrossRuns) {
   EXPECT_EQ(r1.engine_rounds, r2.engine_rounds);
 }
 
+void ExpectSameResult(const RakeCompressResult& a, const RakeCompressResult& b) {
+  EXPECT_EQ(a.iteration, b.iteration);
+  EXPECT_EQ(a.compressed, b.compressed);
+  EXPECT_EQ(a.num_iterations, b.num_iterations);
+  EXPECT_EQ(a.engine_rounds, b.engine_rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.round_stats, b.round_stats);
+}
+
+// Shared-transcript dedup: a sweep with duplicate ks and a tail of ks at or
+// above Delta must be bit-identical to the undeduped batch (and to the solo
+// runs), even though the deduped engine runs far fewer instances.
+TEST(RakeCompressDedup, BitIdenticalToUndedupedBatch) {
+  for (uint64_t seed : {21u, 22u}) {
+    Graph g = UniformRandomTree(700, seed);
+    auto ids = DefaultIds(700, seed + 50);
+    const int delta = g.MaxDegree();
+    ASSERT_GE(delta, 3);  // the tail below must actually dedup
+    const std::vector<int> ks = {2,         3,     delta - 1, delta,
+                                 delta + 1, delta, 2 * delta, 300,
+                                 2,         delta + 7};
+    for (int threads : {1, 3}) {
+      auto deduped = RunRakeCompressBatchDeduped(g, ids, ks, threads);
+      local::BatchNetwork net(g, ids, static_cast<int>(ks.size()));
+      auto full = RunRakeCompressBatch(net, ks);
+      ASSERT_EQ(deduped.size(), ks.size());
+      for (size_t b = 0; b < ks.size(); ++b) {
+        ExpectSameResult(deduped[b], full[b]);
+      }
+      for (size_t b = 0; b < ks.size(); ++b) {
+        ExpectSameResult(deduped[b], RunRakeCompress(g, ids, ks[b]));
+      }
+    }
+  }
+}
+
+TEST(RakeCompressDedup, AllAboveDeltaCollapsesToOneTranscript) {
+  Graph g = Star(64);  // Delta = 63
+  auto ids = DefaultIds(64, 5);
+  const std::vector<int> ks = {63, 64, 100, 1000};
+  auto results = RunRakeCompressBatchDeduped(g, ids, ks);
+  for (size_t b = 1; b < ks.size(); ++b) {
+    ExpectSameResult(results[b], results[0]);
+  }
+  ExpectSameResult(results[0], RunRakeCompress(g, ids, 63));
+}
+
+TEST(RakeCompressDedup, ValidatesEveryKEvenWhenDeduped) {
+  Graph g = Path(8);
+  auto ids = DefaultIds(8, 6);
+  EXPECT_THROW(RunRakeCompressBatchDeduped(g, ids, {4, 1}),
+               std::invalid_argument);
+  EXPECT_TRUE(RunRakeCompressBatchDeduped(g, ids, {}).empty());
+}
+
 }  // namespace
 }  // namespace treelocal
