@@ -11,13 +11,26 @@
 //   (3) analytic  — the paper's O(log^{12/13} n) curve and the
 //       Omega(log n / log log n) MIS/MM barrier it separates from, extended
 //       in log-space far beyond feasible n to exhibit the crossover.
+// Plus the phase-2/3 acceptance: the engine-native base + fused forest
+// split vs the legacy host-side path at n = 2^accept_exp on one shared
+// decomposition, identity-gated, speedup recorded in BENCH_engine.json
+// (experiment "edge_pipeline_phase23", acceptance=true when the size is the
+// real 2^18+ measurement rather than a CI smoke run).
+//
+// Flags: --n_lo= --n_hi= (measured sweep exponents, default 10..18),
+// --accept_exp= (default 20), --reps= (acceptance best-of, default 3).
+#include <chrono>
 #include <cmath>
 #include <iostream>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/core/complexity.h"
+#include "src/core/forest_split.h"
 #include "src/core/transform_edge.h"
 #include "src/graph/generators.h"
+#include "src/graph/semigraph.h"
+#include "src/local/network.h"
 #include "src/problems/edge_coloring.h"
 #include "src/support/mathutil.h"
 #include "src/support/rng.h"
@@ -26,33 +39,156 @@
 namespace treelocal {
 namespace {
 
-void RunMeasured() {
+using Clock = std::chrono::steady_clock;
+using bench::EmitTrajectory;
+using bench::SameLabeling;
+
+bool RunMeasured(int n_lo, int n_hi, bench::JsonWriter& json) {
+  bool all_identical = true;
   Table table({"n", "k", "rounds", "decomp", "base", "split", "gather",
                "log2n", "valid"});
-  for (int n : bench::PowersOfTwo(10, 18)) {
+  for (int n : bench::PowersOfTwo(n_lo, n_hi)) {
     Graph tree = UniformRandomTree(n, 3);
     auto ids = DefaultIds(n, 4);
     EdgeColoringProblem problem(EdgeColoringProblem::Mode::kEdgeDegreePlusOne,
                                 tree.MaxDegree());
     int k = std::max(5, ChooseK(n, QuadraticF()));
-    auto result = SolveEdgeProblemBoundedArboricity(problem, tree, ids,
+    local::Network net(tree, ids);
+    bench::EngineTimingRecorder::Arm(net);
+    auto t0 = Clock::now();
+    auto result = SolveEdgeProblemBoundedArboricity(problem, net,
                                                     bench::IdSpace(n), 1, k);
+    double engine_s = bench::SecondsSince(t0);
+    t0 = Clock::now();
+    auto legacy = SolveEdgeProblemBoundedArboricityLegacy(
+        problem, tree, ids, bench::IdSpace(n), 1, k);
+    double legacy_s = bench::SecondsSince(t0);
+    bool identical = SameLabeling(tree, result.labeling, legacy.labeling) &&
+                     result.rounds_total == legacy.rounds_total;
+    all_identical &= identical;
     table.AddRow({Table::Num(n), Table::Num(k), Table::Num(result.rounds_total),
                   Table::Num(result.rounds_decomposition),
                   Table::Num(result.rounds_base),
                   Table::Num(result.rounds_split),
                   Table::Num(result.rounds_gather),
                   Table::Num(std::log2(double(n)), 1),
-                  result.valid ? "yes" : "NO"});
+                  (result.valid && identical) ? "yes" : "NO"});
+
+    json.BeginRecord();
+    json.Field("source", "bench_thm3_edge_coloring");
+    json.Field("experiment", "thm3_pipeline");
+    json.Field("n", n);
+    json.Field("k", k);
+    json.Field("rounds", result.rounds_total);
+    json.Field("engine_seconds", engine_s);
+    json.Field("legacy_seconds", legacy_s);
+    json.Field("speedup", legacy_s / engine_s);
+    json.Field("transcripts_identical", identical);
+    json.Field("valid", result.valid);
+    EmitTrajectory(json, "decomp", result.decomposition.round_stats,
+                   result.round_seconds_decomposition);
+    EmitTrajectory(json, "base_sweep", result.base_stats.sweep_round_stats,
+                   result.round_seconds_base_sweep);
+    EmitTrajectory(json, "split", result.split.round_stats,
+                   result.round_seconds_split);
   }
   table.Print(
-      "E8a: (edge-degree+1)-edge coloring on trees, measured pipeline "
-      "(implemented f(Delta)=O~(Delta^2) base)");
+      "E8a: (edge-degree+1)-edge coloring on trees, measured engine-native "
+      "pipeline (implemented f(Delta)=O~(Delta^2) base), identity-gated");
   table.WriteCsv("bench_thm3_measured");
   table.WriteJson("bench_thm3_measured");
+  return all_identical;
 }
 
-void RunModeled() {
+// Phase-2/3 acceptance: one decomposition, then the engine-native base +
+// fused multi-forest split vs the legacy base + per-forest split, best-of
+// reps each, identity-gated, on two workloads:
+//   * uniform tree (a = 1) — Theorem 15's degenerate tree case. Here the
+//     engine's wins (sort-free line graph, flat-key IDs, O(|E1|) split)
+//     and the faithful round simulation's costs (idle worklist walk,
+//     announcement sends, cache interference on the shared greedy) cancel
+//     to ~parity, so this record is reported but NOT floored.
+//   * union of 2 random forests (a = 2) — the bounded-arboricity workload
+//     the theorem is actually about; the larger G[E2] line graph makes the
+//     engine's construction wins structural. This record carries
+//     acceptance=true and check_bench_regression.py floors it at 1.0x for
+//     acceptance-sized runs.
+bool RunPhase23Acceptance(int accept_exp, int reps, bench::JsonWriter& json) {
+  const int n = 1 << accept_exp;
+  struct Workload {
+    std::string name;
+    Graph graph;
+    int a;
+    bool floored;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"uniform_tree", UniformRandomTree(n, 5), 1, false});
+  workloads.push_back({"forest_union_a2", ForestUnion(n, 2, 7), 2, true});
+
+  bool all_identical = true;
+  for (const Workload& w : workloads) {
+    const Graph& g = w.graph;
+    auto ids = DefaultIds(g.NumNodes(), 6);
+    const int64_t space = bench::IdSpace(g.NumNodes());
+    EdgeColoringProblem problem(EdgeColoringProblem::Mode::kEdgeDegreePlusOne,
+                                g.MaxDegree());
+    int k = std::max(5 * w.a, ChooseK(n, QuadraticF()));
+
+    local::Network net(g, ids);
+    auto decomp = RunDecomposition(net, w.a, 2 * w.a, k);
+    std::vector<char> typical_mask(g.NumEdges(), 0);
+    for (int e = 0; e < g.NumEdges(); ++e) {
+      typical_mask[e] = decomp.atypical[e] ? 0 : 1;
+    }
+    SemiGraph e2 = SemiGraph::EdgeInduced(g, typical_mask);
+
+    // Interleaved best-of-reps: pairing each engine rep with a legacy rep
+    // keeps slow machine-load drift out of the ratio (the two sides see
+    // the same conditions within a pair).
+    HalfEdgeLabeling h_engine(g), h_legacy(g);
+    ForestSplitResult split_engine, split_legacy;
+    double engine_s = 1e300, legacy_s = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      h_engine = HalfEdgeLabeling(g);
+      auto t0 = Clock::now();
+      RunEdgeBase(net, problem, e2, space, h_engine);
+      split_engine = SplitAtypicalForests(net, decomp, w.a, space);
+      engine_s = std::min(engine_s, bench::SecondsSince(t0));
+
+      h_legacy = HalfEdgeLabeling(g);
+      t0 = Clock::now();
+      RunEdgeBaseLegacy(problem, e2, ids, space, h_legacy);
+      split_legacy = SplitAtypicalForests(g, ids, space, decomp, w.a);
+      legacy_s = std::min(legacy_s, bench::SecondsSince(t0));
+    }
+    bool identical =
+        SameLabeling(g, h_engine, h_legacy) &&
+        split_engine.forest_of_edge == split_legacy.forest_of_edge &&
+        split_engine.star_class_of_edge == split_legacy.star_class_of_edge &&
+        split_engine.cv_rounds == split_legacy.cv_rounds;
+    all_identical &= identical;
+
+    json.BeginRecord();
+    json.Field("source", "bench_thm3_edge_coloring");
+    json.Field("experiment", "edge_pipeline_phase23");
+    json.Field("workload", w.name);
+    json.Field("acceptance", w.floored && accept_exp >= 18);
+    json.Field("n", n);
+    json.Field("a", w.a);
+    json.Field("k", k);
+    json.Field("engine_seconds", engine_s);
+    json.Field("legacy_seconds", legacy_s);
+    json.Field("speedup", legacy_s / engine_s);
+    json.Field("transcripts_identical", identical);
+    std::cout << "phase-2/3 " << w.name << " at n=2^" << accept_exp
+              << ": engine " << engine_s << " s, legacy " << legacy_s
+              << " s, speedup " << legacy_s / engine_s << "x, identical="
+              << (identical ? "yes" : "NO (BUG)") << "\n";
+  }
+  return all_identical;
+}
+
+void RunModeled(int n_lo, int n_hi) {
   // Paper configuration: f(Delta) = log^12(Delta), k = g(n) with
   // g^{f(g)} = n, so the base phase costs f(g(n)) = log^{12/13}(n) rounds
   // asymptotically — that value is charged as the model. The decomposition,
@@ -62,7 +198,7 @@ void RunModeled() {
   auto f = PolylogF(12.0);
   Table table({"n", "g(n)", "k(run)", "decomp+split+gather(meas)",
                "base=f(g) (model)", "total(model)", "barrier", "valid"});
-  for (int n : bench::PowersOfTwo(10, 18)) {
+  for (int n : bench::PowersOfTwo(n_lo, n_hi)) {
     Graph tree = UniformRandomTree(n, 5);
     auto ids = DefaultIds(n, 6);
     EdgeColoringProblem problem(EdgeColoringProblem::Mode::kEdgeDegreePlusOne,
@@ -111,9 +247,34 @@ void RunAnalytic() {
 }  // namespace
 }  // namespace treelocal
 
-int main() {
-  treelocal::RunMeasured();
-  treelocal::RunModeled();
+int main(int argc, char** argv) {
+  int n_lo = 10, n_hi = 18, accept_exp = 20, reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--n_lo=", 0) == 0) {
+      n_lo = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--n_hi=", 0) == 0) {
+      n_hi = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--accept_exp=", 0) == 0) {
+      accept_exp = std::atoi(arg.c_str() + 13);
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = std::max(1, std::atoi(arg.c_str() + 7));
+    } else {
+      std::cerr << "bench_thm3_edge_coloring: unknown flag " << arg << "\n";
+      return 1;
+    }
+  }
+  if (n_lo < 4 || n_hi > 24 || n_lo > n_hi || accept_exp < 10 ||
+      accept_exp > 24) {
+    std::cerr << "bench_thm3_edge_coloring: exponents out of range\n";
+    return 1;
+  }
+  treelocal::bench::JsonWriter json;
+  bool ok = treelocal::RunMeasured(n_lo, n_hi, json);
+  ok &= treelocal::RunPhase23Acceptance(accept_exp, reps, json);
+  treelocal::RunModeled(n_lo, n_hi);
   treelocal::RunAnalytic();
-  return 0;
+  json.MergeAs("bench_thm3_edge_coloring", "BENCH_engine.json");
+  std::cout << "  wrote BENCH_engine.json\n";
+  return ok ? 0 : 1;
 }

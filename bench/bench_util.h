@@ -2,6 +2,7 @@
 #define TREELOCAL_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -11,9 +12,29 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/graph/labeling.h"
+#include "src/local/network.h"
 #include "src/support/json.h"
 
 namespace treelocal::bench {
+
+// Wall-clock seconds elapsed since `t0` (steady clock; every driver times
+// the same way).
+inline double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// The identity predicate behind every engine-vs-legacy bench gate: both
+// half-edge labelings of `g` must match slot for slot.
+inline bool SameLabeling(const Graph& g, const HalfEdgeLabeling& a,
+                         const HalfEdgeLabeling& b) {
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    if (a.GetSlot(e, 0) != b.GetSlot(e, 0)) return false;
+    if (a.GetSlot(e, 1) != b.GetSlot(e, 1)) return false;
+  }
+  return true;
+}
 
 // Polynomial ID space n^3, clamped to 2^62: the bare n^3 overflows int64_t
 // (signed UB) at n >= 2^21 — exactly the million-node sizes the engine
@@ -68,6 +89,16 @@ class EngineTimingRecorder {
     }
   }
 };
+
+class JsonWriter;
+
+// Emits an engine phase's round trajectory as three records fields:
+// <prefix>_round_active_nodes / _round_messages / _round_seconds (the
+// suffixes tools/check_bench_regression.py keys its shape bounds on).
+// Declared after JsonWriter below.
+inline void EmitTrajectory(JsonWriter& json, const std::string& prefix,
+                           const std::vector<local::RoundStats>& stats,
+                           const std::vector<double>& seconds);
 
 // Minimal JSON results writer: a flat array of records, each a flat object
 // (scalars plus numeric arrays for per-round trajectories). The perf
@@ -165,6 +196,21 @@ class JsonWriter {
   std::vector<std::string> records_;
   bool first_field_ = true;
 };
+
+inline void EmitTrajectory(JsonWriter& json, const std::string& prefix,
+                           const std::vector<local::RoundStats>& stats,
+                           const std::vector<double>& seconds) {
+  std::vector<int64_t> active, sent;
+  active.reserve(stats.size());
+  sent.reserve(stats.size());
+  for (const auto& rs : stats) {
+    active.push_back(rs.active_nodes);
+    sent.push_back(rs.messages_sent);
+  }
+  json.Field(prefix + "_round_active_nodes", active);
+  json.Field(prefix + "_round_messages", sent);
+  json.Field(prefix + "_round_seconds", seconds);
+}
 
 }  // namespace treelocal::bench
 

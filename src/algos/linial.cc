@@ -54,6 +54,72 @@ struct LinialState {
   int64_t color = 0;
 };
 
+// Variant of LinialAlgorithm running on a substructure of the host engine:
+// participants reduce colors over their induced ports, everyone else halts
+// in round 0. The color evolution per participant is identical to a run on
+// the compacted underlying graph because a step's outcome depends only on
+// the (unordered) set of neighbor colors.
+class InducedLinialAlgorithm : public local::Algorithm {
+ public:
+  InducedLinialAlgorithm(const std::vector<int64_t>& ids,
+                         const local::InducedPortCsr& ports,
+                         const std::vector<char>& participant,
+                         const LinialSchedule& schedule)
+      : ids_(&ids), ports_(&ports), participant_(&participant),
+        schedule_(schedule) {}
+
+  size_t StateBytes() const override { return sizeof(LinialState); }
+  void InitState(int node, void* state) override {
+    static_cast<LinialState*>(state)->color = (*ids_)[node];
+  }
+
+  void OnRound(local::NodeContext& ctx) override {
+    const int v = ctx.node();
+    if (!(*participant_)[v]) {
+      ctx.Halt();
+      return;
+    }
+    LinialState& st = ctx.State<LinialState>();
+    const int r = ctx.round();
+    const int begin = ports_->offset[v], end = ports_->offset[v + 1];
+    if (r >= 1) {
+      const LinialStep& step = schedule_.steps[r - 1];
+      int64_t q = step.q;
+      int64_t chosen_x = -1;
+      for (int64_t x = 0; x < q && chosen_x < 0; ++x) {
+        int64_t mine = EvalPoly(st.color, q, step.d, x);
+        bool ok = true;
+        for (int i = begin; i < end; ++i) {
+          const local::Message& msg = ctx.Recv(ports_->port[i]);
+          if (!msg.present()) continue;
+          if (EvalPoly(msg.word0, q, step.d, x) == mine) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) chosen_x = x;
+      }
+      if (chosen_x < 0) {
+        throw std::logic_error("Linial step found no free point");
+      }
+      st.color = chosen_x * q + EvalPoly(st.color, q, step.d, chosen_x);
+    }
+    if (r == static_cast<int>(schedule_.steps.size())) {
+      ctx.Halt();
+      return;
+    }
+    for (int i = begin; i < end; ++i) {
+      ctx.Send(ports_->port[i], local::Message::Of(st.color));
+    }
+  }
+
+ private:
+  const std::vector<int64_t>* ids_;
+  const local::InducedPortCsr* ports_;
+  const std::vector<char>* participant_;
+  const LinialSchedule& schedule_;
+};
+
 class LinialAlgorithm : public local::Algorithm {
  public:
   LinialAlgorithm(const std::vector<int64_t>& ids,
@@ -178,6 +244,59 @@ LinialResult RunLinialReference(const Graph& g,
                                 int64_t id_space) {
   local::ReferenceNetwork net(g, ids);
   return RunLinialOnEngine(net, g, ids, id_space);
+}
+
+namespace {
+
+// Mirrors RunLinialOnEngine's structure (including the degree-0 and empty
+// special cases) so outputs match a run on the compacted underlying graph
+// field for field.
+template <typename Engine>
+LinialResult RunLinialInducedOnEngine(Engine& net,
+                                      const local::InducedPortCsr& ports,
+                                      const std::vector<char>& participant,
+                                      int64_t id_space) {
+  LinialResult result;
+  const int n = net.graph().NumNodes();
+  bool any = false;
+  for (int v = 0; v < n && !any; ++v) any = participant[v] != 0;
+  if (!any) return result;
+  result.colors.assign(n, 0);
+  if (ports.max_degree == 0) {
+    result.num_colors = 1;
+    result.rounds = 1;
+    return result;
+  }
+  LinialSchedule schedule =
+      BuildLinialSchedule(id_space + 1, ports.max_degree);
+  InducedLinialAlgorithm alg(net.ids(), ports, participant, schedule);
+  result.rounds =
+      net.Run(alg, static_cast<int>(schedule.steps.size()) + 2);
+  result.messages = net.messages_delivered();
+  result.round_stats = net.round_stats();
+  for (int v = 0; v < n; ++v) {
+    if (participant[v]) {
+      result.colors[v] = net.template StateAt<LinialState>(v).color;
+    }
+  }
+  result.num_colors = schedule.final_colors;
+  return result;
+}
+
+}  // namespace
+
+LinialResult RunLinialInduced(local::Network& net,
+                              const local::InducedPortCsr& ports,
+                              const std::vector<char>& participant,
+                              int64_t id_space) {
+  return RunLinialInducedOnEngine(net, ports, participant, id_space);
+}
+
+LinialResult RunLinialInduced(local::ParallelNetwork& net,
+                              const local::InducedPortCsr& ports,
+                              const std::vector<char>& participant,
+                              int64_t id_space) {
+  return RunLinialInducedOnEngine(net, ports, participant, id_space);
 }
 
 }  // namespace treelocal

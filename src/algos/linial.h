@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/local/induced.h"
 #include "src/local/network.h"
 
 namespace treelocal {
@@ -55,6 +56,29 @@ LinialResult RunLinialParallel(const Graph& g, const std::vector<int64_t>& ids,
 LinialResult RunLinialReference(const Graph& g,
                                 const std::vector<int64_t>& ids,
                                 int64_t id_space);
+
+// Linial color reduction on a SUBSTRUCTURE of a caller-owned host engine:
+// the nodes with participant[v] != 0 reduce colors over the induced port
+// CSR `ports` (their edges within the substructure), everyone else halts in
+// round 0. This is how the base layer runs its symmetry breaking on the
+// semi-graph's underlying graph without compacting a Subgraph and building
+// a second Network: the host engine's channel tables are reused, and the
+// schedule is derived from ports.max_degree (the underlying graph's Delta),
+// not the host's. Initial colors are net.ids(); result.colors is
+// HOST-node-indexed (meaningful at participants). Outputs are bit-identical
+// to RunLinial on the explicitly compacted underlying graph (enforced by
+// the edge-pipeline parity tests), because a Linial step's chosen point
+// depends only on the set of neighbor colors, never on their order.
+// Precondition: every edge of `ports` has both endpoints participating.
+LinialResult RunLinialInduced(local::Network& net,
+                              const local::InducedPortCsr& ports,
+                              const std::vector<char>& participant,
+                              int64_t id_space);
+// Sharded form; bit-identical for every thread count.
+LinialResult RunLinialInduced(local::ParallelNetwork& net,
+                              const local::InducedPortCsr& ports,
+                              const std::vector<char>& participant,
+                              int64_t id_space);
 
 }  // namespace treelocal
 

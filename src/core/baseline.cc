@@ -4,28 +4,76 @@
 
 namespace treelocal {
 
-BaselineResult RunNodeBaseline(const NodeProblem& problem, const Graph& g,
-                               const std::vector<int64_t>& ids,
-                               int64_t id_space) {
+namespace {
+
+template <typename RunBase>
+BaselineResult RunBaselineImpl(const Problem& problem, const Graph& g,
+                               RunBase&& run_base) {
   BaselineResult result;
   result.labeling = HalfEdgeLabeling(g);
   SemiGraph whole = SemiGraph::Whole(g);
-  result.stats = RunNodeBase(problem, whole, ids, id_space, result.labeling);
+  result.stats = run_base(whole, result.labeling);
   result.rounds_total = result.stats.rounds;
   result.valid = problem.ValidateGraph(g, result.labeling, &result.why);
   return result;
 }
 
+}  // namespace
+
+BaselineResult RunNodeBaseline(const NodeProblem& problem, const Graph& g,
+                               const std::vector<int64_t>& ids,
+                               int64_t id_space) {
+  return RunBaselineImpl(problem, g, [&](const SemiGraph& s,
+                                         HalfEdgeLabeling& h) {
+    return RunNodeBase(problem, s, ids, id_space, h);
+  });
+}
+
 BaselineResult RunEdgeBaseline(const EdgeProblem& problem, const Graph& g,
                                const std::vector<int64_t>& ids,
                                int64_t id_space) {
-  BaselineResult result;
-  result.labeling = HalfEdgeLabeling(g);
-  SemiGraph whole = SemiGraph::Whole(g);
-  result.stats = RunEdgeBase(problem, whole, ids, id_space, result.labeling);
-  result.rounds_total = result.stats.rounds;
-  result.valid = problem.ValidateGraph(g, result.labeling, &result.why);
-  return result;
+  return RunBaselineImpl(problem, g, [&](const SemiGraph& s,
+                                         HalfEdgeLabeling& h) {
+    return RunEdgeBase(problem, s, ids, id_space, h);
+  });
+}
+
+BaselineResult RunNodeBaseline(local::Network& net,
+                               const NodeProblem& problem,
+                               int64_t id_space) {
+  return RunBaselineImpl(problem, net.graph(), [&](const SemiGraph& s,
+                                                   HalfEdgeLabeling& h) {
+    return RunNodeBase(net, problem, s, id_space, h);
+  });
+}
+
+BaselineResult RunEdgeBaseline(local::Network& net,
+                               const EdgeProblem& problem,
+                               int64_t id_space) {
+  return RunBaselineImpl(problem, net.graph(), [&](const SemiGraph& s,
+                                                   HalfEdgeLabeling& h) {
+    return RunEdgeBase(net, problem, s, id_space, h);
+  });
+}
+
+BaselineResult RunNodeBaselineLegacy(const NodeProblem& problem,
+                                     const Graph& g,
+                                     const std::vector<int64_t>& ids,
+                                     int64_t id_space) {
+  return RunBaselineImpl(problem, g, [&](const SemiGraph& s,
+                                         HalfEdgeLabeling& h) {
+    return RunNodeBaseLegacy(problem, s, ids, id_space, h);
+  });
+}
+
+BaselineResult RunEdgeBaselineLegacy(const EdgeProblem& problem,
+                                     const Graph& g,
+                                     const std::vector<int64_t>& ids,
+                                     int64_t id_space) {
+  return RunBaselineImpl(problem, g, [&](const SemiGraph& s,
+                                         HalfEdgeLabeling& h) {
+    return RunEdgeBaseLegacy(problem, s, ids, id_space, h);
+  });
 }
 
 }  // namespace treelocal

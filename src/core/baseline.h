@@ -8,6 +8,7 @@
 #include "src/algos/base_algorithms.h"
 #include "src/graph/graph.h"
 #include "src/graph/labeling.h"
+#include "src/local/network.h"
 #include "src/problems/problem.h"
 
 namespace treelocal {
@@ -15,7 +16,8 @@ namespace treelocal {
 // Baselines: run the truly local base algorithm A directly on the whole
 // input graph, with no transformation. Costs O(f(Delta) + log* n) rounds
 // with the *input* graph's Delta — the quantity the paper's transformation
-// replaces by f(g(n)).
+// replaces by f(g(n)). The default path is engine-native (see
+// base_algorithms.h); the *Legacy forms run the host-side oracle.
 struct BaselineResult {
   HalfEdgeLabeling labeling;
   bool valid = false;
@@ -31,6 +33,24 @@ BaselineResult RunNodeBaseline(const NodeProblem& problem, const Graph& g,
 BaselineResult RunEdgeBaseline(const EdgeProblem& problem, const Graph& g,
                                const std::vector<int64_t>& ids,
                                int64_t id_space);
+
+// Same runs on a caller-owned engine over (g, ids) — the bench drivers arm
+// per-round timing on it and reuse it across repetitions.
+BaselineResult RunNodeBaseline(local::Network& net, const NodeProblem& problem,
+                               int64_t id_space);
+BaselineResult RunEdgeBaseline(local::Network& net, const EdgeProblem& problem,
+                               int64_t id_space);
+
+// Host-side oracle forms (legacy base algorithms), kept for differential
+// testing and the bench identity gates.
+BaselineResult RunNodeBaselineLegacy(const NodeProblem& problem,
+                                     const Graph& g,
+                                     const std::vector<int64_t>& ids,
+                                     int64_t id_space);
+BaselineResult RunEdgeBaselineLegacy(const EdgeProblem& problem,
+                                     const Graph& g,
+                                     const std::vector<int64_t>& ids,
+                                     int64_t id_space);
 
 }  // namespace treelocal
 

@@ -3,55 +3,25 @@
 #include <algorithm>
 
 #include "src/graph/semigraph.h"
+#include "src/local/parallel_network.h"
 
 namespace treelocal {
 
-Thm15Result SolveEdgeProblemBoundedArboricity(const EdgeProblem& problem,
-                                              const Graph& g,
-                                              const std::vector<int64_t>& ids,
-                                              int64_t id_space, int a,
-                                              int k) {
-  Thm15Result result;
-  result.a = a;
-  result.k = k;
-  result.labeling = HalfEdgeLabeling(g);
+namespace {
 
-  // Phase 1: decomposition with b = 2a (Lemma 13).
-  result.decomposition = RunDecomposition(g, ids, a, 2 * a, k);
-  result.rounds_decomposition = result.decomposition.engine_rounds;
-
-  std::vector<char> typical_mask(g.NumEdges(), 0);
-  for (int e = 0; e < g.NumEdges(); ++e) {
-    if (result.decomposition.atypical[e]) {
-      ++result.num_atypical;
-    } else {
-      typical_mask[e] = 1;
-      ++result.num_typical;
-    }
-  }
-
-  // Phase 2: base algorithm A on G[E2] (Lemma 14: max degree <= k).
-  SemiGraph e2 = SemiGraph::EdgeInduced(g, typical_mask);
-  result.base_stats = RunEdgeBase(problem, e2, ids, id_space,
-                                  result.labeling);
-  result.rounds_base = result.base_stats.rounds;
-
-  // Phase 3: split E1 into 2a rooted forests, 3-color each (O(log* n)).
-  ForestSplitResult split =
-      SplitAtypicalForests(g, ids, id_space, result.decomposition, a);
-  // The per-node edge coloring is 1 round; CV runs on all forests in
-  // parallel (unbounded messages), costing the max.
-  result.rounds_split = split.cv_rounds + 1;
-
-  // Phase 4: Algorithm 4 — for each (i, j) stage, every star solves its Pi*
-  // instance at the center: leaves send their constraints (1 round), the
-  // center solves sequentially and replies (1 round). Stages run one after
-  // the other: 2 rounds each, 6a stages.
+// Phase 4 (Algorithm 4) plus the result bookkeeping shared by every path:
+// for each (i, j) stage, every star solves its Pi* instance at the center —
+// leaves send their constraints (1 round), the center solves sequentially
+// and replies (1 round). Stages run one after the other: 2 rounds each,
+// 6a stages.
+void FinishEdgeProblem(const EdgeProblem& problem, const Graph& g,
+                       Thm15Result& result) {
+  result.rounds_split = result.split.cv_rounds + 1;
   int stage_rounds = 0;
-  for (int f = 0; f < split.num_forests; ++f) {
+  for (int f = 0; f < result.split.num_forests; ++f) {
     for (int j = 0; j < 3; ++j) {
       stage_rounds += 2;
-      const std::vector<int>& star_edges = split.stars[f][j];
+      const std::vector<int>& star_edges = result.split.stars[f][j];
       if (star_edges.empty()) continue;
       // Stars within one stage are node-disjoint; sequential completion of
       // each star's edges implements the Lemma 16/17 labeling process.
@@ -67,6 +37,116 @@ Thm15Result SolveEdgeProblemBoundedArboricity(const EdgeProblem& problem,
   result.engine_messages =
       result.decomposition.messages + result.base_stats.messages;
   result.valid = problem.ValidateGraph(g, result.labeling, &result.why);
+}
+
+// Classifies the edges of a finished decomposition into E1/E2 and returns
+// the typical-edge mask.
+std::vector<char> ClassifyEdges(const Graph& g, Thm15Result& result) {
+  std::vector<char> typical_mask(g.NumEdges(), 0);
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    if (result.decomposition.atypical[e]) {
+      ++result.num_atypical;
+    } else {
+      typical_mask[e] = 1;
+      ++result.num_typical;
+    }
+  }
+  return typical_mask;
+}
+
+// Engine-native phases 1-3 on one host engine (Network or ParallelNetwork:
+// same Run/counters surface, bit-identical transcripts by the engine
+// family's determinism contract).
+template <typename Engine>
+Thm15Result SolveOnEngine(const EdgeProblem& problem, Engine& net,
+                          int64_t id_space, int a, int k) {
+  const Graph& g = net.graph();
+  Thm15Result result;
+  result.a = a;
+  result.k = k;
+  result.labeling = HalfEdgeLabeling(g);
+
+  // Phase 1: decomposition with b = 2a (Lemma 13).
+  result.decomposition = RunDecomposition(net, a, 2 * a, k);
+  result.rounds_decomposition = result.decomposition.engine_rounds;
+  result.round_seconds_decomposition = net.round_seconds();
+
+  std::vector<char> typical_mask = ClassifyEdges(g, result);
+
+  // Phase 2: base algorithm A on G[E2] (Lemma 14: max degree <= k), class
+  // sweep on the same host engine.
+  SemiGraph e2 = SemiGraph::EdgeInduced(g, typical_mask);
+  result.base_stats = RunEdgeBase(net, problem, e2, id_space,
+                                  result.labeling);
+  result.rounds_base = result.base_stats.rounds;
+  result.round_seconds_base_sweep = net.round_seconds();
+
+  // Phase 3: fused multi-forest Cole-Vishkin over the shared atypical-edge
+  // structure, still on the same engine. The per-node edge coloring is 1
+  // round; CV runs on all forests in parallel (unbounded messages), costing
+  // the max.
+  result.split = SplitAtypicalForests(net, result.decomposition, a, id_space);
+  result.round_seconds_split = result.split.round_seconds;
+
+  FinishEdgeProblem(problem, g, result);
+  return result;
+}
+
+}  // namespace
+
+Thm15Result SolveEdgeProblemBoundedArboricity(const EdgeProblem& problem,
+                                              const Graph& g,
+                                              const std::vector<int64_t>& ids,
+                                              int64_t id_space, int a,
+                                              int k) {
+  local::Network net(g, ids);
+  return SolveOnEngine(problem, net, id_space, a, k);
+}
+
+Thm15Result SolveEdgeProblemBoundedArboricity(const EdgeProblem& problem,
+                                              local::Network& net,
+                                              int64_t id_space, int a,
+                                              int k) {
+  return SolveOnEngine(problem, net, id_space, a, k);
+}
+
+Thm15Result SolveEdgeProblemBoundedArboricity(const EdgeProblem& problem,
+                                              local::ParallelNetwork& net,
+                                              int64_t id_space, int a,
+                                              int k) {
+  return SolveOnEngine(problem, net, id_space, a, k);
+}
+
+Thm15Result SolveEdgeProblemBoundedArboricityParallel(
+    const EdgeProblem& problem, const Graph& g,
+    const std::vector<int64_t>& ids, int64_t id_space, int a, int k,
+    int num_threads) {
+  local::ParallelNetwork net(g, ids, num_threads);
+  return SolveOnEngine(problem, net, id_space, a, k);
+}
+
+Thm15Result SolveEdgeProblemBoundedArboricityLegacy(
+    const EdgeProblem& problem, const Graph& g,
+    const std::vector<int64_t>& ids, int64_t id_space, int a, int k) {
+  Thm15Result result;
+  result.a = a;
+  result.k = k;
+  result.labeling = HalfEdgeLabeling(g);
+
+  result.decomposition = RunDecomposition(g, ids, a, 2 * a, k);
+  result.rounds_decomposition = result.decomposition.engine_rounds;
+
+  std::vector<char> typical_mask = ClassifyEdges(g, result);
+
+  SemiGraph e2 = SemiGraph::EdgeInduced(g, typical_mask);
+  result.base_stats = RunEdgeBaseLegacy(problem, e2, ids, id_space,
+                                        result.labeling);
+  result.rounds_base = result.base_stats.rounds;
+
+  result.split =
+      SplitAtypicalForests(g, ids, id_space, result.decomposition, a);
+
+  FinishEdgeProblem(problem, g, result);
   return result;
 }
 

@@ -10,7 +10,12 @@
 #include "src/core/forest_split.h"
 #include "src/graph/graph.h"
 #include "src/graph/labeling.h"
+#include "src/local/network.h"
 #include "src/problems/problem.h"
+
+namespace treelocal::local {
+class ParallelNetwork;
+}  // namespace treelocal::local
 
 namespace treelocal {
 
@@ -27,6 +32,15 @@ namespace treelocal {
 //      stage, 6a stages total).
 // With k = g(n)^rho, the total is O(a + rho*f(g^rho)/(rho - log_g a) +
 // log* n) rounds; on trees (a=1) this is O(f(g(n)) + log* n).
+//
+// The default path is ENGINE-NATIVE: phases 1-3 all execute on ONE host
+// LOCAL engine (the decomposition rounds, the base's class sweep, and the
+// fused multi-forest Cole-Vishkin reuse the same channel tables and
+// mailboxes, so repeated solves on one engine do no steady-state
+// reallocation; only the base's line-graph symmetry breaking runs on its
+// own small engine, since its topology is not the host's). The legacy
+// host-side path is kept verbatim behind *Legacy as the differential
+// oracle; outputs are bit-identical (tests/edge_pipeline_parity_test.cc).
 struct Thm15Result {
   HalfEdgeLabeling labeling;
   bool valid = false;
@@ -46,14 +60,46 @@ struct Thm15Result {
 
   DecompositionResult decomposition;
   BaseRunStats base_stats;
+  ForestSplitResult split;
   int64_t num_typical = 0;
   int64_t num_atypical = 0;
+
+  // Per-phase wall-clock round trajectories of the HOST engine, captured
+  // when the caller armed set_record_round_times on a caller-owned engine
+  // (empty otherwise; the engine-constructing entry points never time).
+  std::vector<double> round_seconds_decomposition;
+  std::vector<double> round_seconds_base_sweep;
+  std::vector<double> round_seconds_split;
 };
 
+// Engine-native, constructs the host engine internally.
 Thm15Result SolveEdgeProblemBoundedArboricity(const EdgeProblem& problem,
                                               const Graph& g,
                                               const std::vector<int64_t>& ids,
                                               int64_t id_space, int a, int k);
+
+// Engine-native on a caller-owned host engine over (g, ids) — reused across
+// all three engine phases and across repeated solves (bench drivers arm
+// per-round timing on it).
+Thm15Result SolveEdgeProblemBoundedArboricity(const EdgeProblem& problem,
+                                              local::Network& net,
+                                              int64_t id_space, int a, int k);
+Thm15Result SolveEdgeProblemBoundedArboricity(const EdgeProblem& problem,
+                                              local::ParallelNetwork& net,
+                                              int64_t id_space, int a, int k);
+
+// Sharded convenience form: phases 1-3 on a ParallelNetwork with
+// `num_threads` lanes; bit-identical to the serial path for every T.
+Thm15Result SolveEdgeProblemBoundedArboricityParallel(
+    const EdgeProblem& problem, const Graph& g,
+    const std::vector<int64_t>& ids, int64_t id_space, int a, int k,
+    int num_threads);
+
+// The original host-side path (legacy base + per-forest Cole-Vishkin),
+// kept as the differential oracle.
+Thm15Result SolveEdgeProblemBoundedArboricityLegacy(
+    const EdgeProblem& problem, const Graph& g,
+    const std::vector<int64_t>& ids, int64_t id_space, int a, int k);
 
 }  // namespace treelocal
 

@@ -11,12 +11,16 @@ namespace treelocal {
 
 namespace {
 
-// Phases 2-3 of the Theorem 12 pipeline, shared by the solo and batched
-// entry points: takes a finished phase-1 decomposition (already stored in
-// `result.rake_compress`) and completes the base run and the gather phase.
+// Phases 2-3 of the Theorem 12 pipeline, shared by the solo, parallel and
+// batched entry points: takes a finished phase-1 decomposition (already
+// stored in `result.rake_compress`) and completes the base run and the
+// gather phase. `net` is the host engine over (tree, ids) — reused from
+// phase 1, so the base's engine-native class sweep rides on the same
+// mailboxes (no steady-state reallocation across phases or instances).
+template <typename Engine>
 void FinishNodeProblem(const NodeProblem& problem, const Graph& tree,
                        const std::vector<int64_t>& ids, int64_t id_space,
-                       Thm12Result& result) {
+                       Engine& net, Thm12Result& result) {
   result.rounds_decomposition = result.rake_compress.engine_rounds;
 
   std::vector<char> compressed_mask(tree.NumNodes(), 0);
@@ -34,7 +38,7 @@ void FinishNodeProblem(const NodeProblem& problem, const Graph& tree,
   // Phase 2: base algorithm A on T_C (Lemma 10: max degree <= k).
   SemiGraph tc = SemiGraph::NodeInduced(tree, compressed_mask);
   result.base_stats =
-      RunNodeBase(problem, tc, ids, id_space, result.labeling);
+      RunNodeBase(net, problem, tc, id_space, result.labeling);
   result.rounds_base = result.base_stats.rounds;
 
   // Phase 3: Algorithm 2 on T_R — gather each component at its highest node
@@ -84,9 +88,10 @@ Thm12Result SolveNodeProblemOnTree(const NodeProblem& problem,
   result.k = k;
   result.labeling = HalfEdgeLabeling(tree);
 
-  // Phase 1: decomposition.
-  result.rake_compress = RunRakeCompress(tree, ids, k);
-  FinishNodeProblem(problem, tree, ids, id_space, result);
+  // Phase 1: decomposition; phases 2-3 reuse the same engine.
+  local::Network net(tree, ids);
+  result.rake_compress = RunRakeCompress(net, k);
+  FinishNodeProblem(problem, tree, ids, id_space, net, result);
   return result;
 }
 
@@ -104,7 +109,7 @@ Thm12Result SolveNodeProblemOnTreeParallel(const NodeProblem& problem,
   // ParallelNetwork contract rules out.
   local::ParallelNetwork net(tree, ids, num_threads);
   result.rake_compress = RunRakeCompress(net, k);
-  FinishNodeProblem(problem, tree, ids, id_space, result);
+  FinishNodeProblem(problem, tree, ids, id_space, net, result);
   return result;
 }
 
@@ -129,10 +134,13 @@ std::vector<Thm12Result> SolveNodeProblemOnTreeBatch(
       results[b].rake_compress = std::move(decompositions[b]);
     }
   }
+  // One shared engine for every instance's phases 2-3 (mailboxes and state
+  // plane are reused across the whole sweep).
+  local::Network net(tree, ids);
   for (size_t b = 0; b < ks.size(); ++b) {
     results[b].k = ks[b];
     results[b].labeling = HalfEdgeLabeling(tree);
-    FinishNodeProblem(problem, tree, ids, id_space, results[b]);
+    FinishNodeProblem(problem, tree, ids, id_space, net, results[b]);
   }
   return results;
 }

@@ -1,6 +1,8 @@
 #ifndef TREELOCAL_GRAPH_LINEGRAPH_H_
 #define TREELOCAL_GRAPH_LINEGRAPH_H_
 
+#include <span>
+
 #include "src/graph/graph.h"
 
 namespace treelocal {
@@ -15,10 +17,40 @@ struct LineGraph {
 
 LineGraph BuildLineGraph(const Graph& host);
 
+// Same line graph without the global sort+unique pass: in a simple graph
+// two distinct edges share at most one endpoint, so enumerating incident
+// pairs at each node emits every line-graph edge exactly once and no dedup
+// is needed. The resulting Graph has identical adjacency (Graph::FromEdges
+// re-sorts each adjacency list), only the internal line-EDGE numbering
+// differs — invisible to every vertex algorithm run on it. The
+// engine-native base layer's inline line-graph builder is this
+// construction applied to a masked edge subset (the equivalence is pinned
+// by the parity tests); BuildLineGraph's O(E_L log E_L) sort dominates the
+// whole phase on large inputs.
+LineGraph BuildLineGraphFast(const Graph& host);
+
 // Deterministic distinct IDs for L(G) nodes derived from the host edge's
 // endpoint IDs (so symmetry breaking on L(G) is legitimate LOCAL input).
 std::vector<int64_t> LineGraphIds(const Graph& host,
                                   const std::vector<int64_t>& host_ids);
+
+// Same IDs, computed by sorting flat 128-bit endpoint-ID keys instead of
+// running a pair comparator through two indirections per comparison —
+// ~4x faster at the million-edge sizes the engine-native base layer runs
+// at (its inline masked-subset variant is this algorithm). Output is
+// bit-identical to LineGraphIds (asserted by tests); the legacy oracle
+// keeps the original implementation.
+std::vector<int64_t> LineGraphIdsFast(const Graph& host,
+                                      const std::vector<int64_t>& host_ids);
+
+// Same ranking restricted to an edge SUBSET: entry i is the ID of host edge
+// edges[i], dense in {1..edges.size()}. This is the form the engine-native
+// base layer calls on the semi-graph's edges without materializing the
+// compacted underlying graph (whose LineGraphIds it reproduces exactly:
+// the subset's pair order is the compacted graph's pair order).
+std::vector<int64_t> LineGraphIdsFast(const Graph& host,
+                                      std::span<const int> edges,
+                                      const std::vector<int64_t>& host_ids);
 
 }  // namespace treelocal
 

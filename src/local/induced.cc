@@ -1,0 +1,31 @@
+#include "src/local/induced.h"
+
+namespace treelocal::local {
+
+InducedPortCsr BuildInducedPortCsr(const Graph& host,
+                                   const std::vector<char>& edge_mask) {
+  InducedPortCsr csr;
+  const int n = host.NumNodes();
+  csr.offset.assign(n + 1, 0);
+  for (int v = 0; v < n; ++v) {
+    int kept = 0;
+    for (int e : host.IncidentEdges(v)) kept += edge_mask[e] ? 1 : 0;
+    csr.offset[v + 1] = csr.offset[v] + kept;
+    if (kept > csr.max_degree) csr.max_degree = kept;
+  }
+  csr.port.resize(csr.offset[n]);
+  csr.edge.resize(csr.offset[n]);
+  for (int v = 0; v < n; ++v) {
+    int out = csr.offset[v];
+    auto inc = host.IncidentEdges(v);
+    for (int p = 0; p < static_cast<int>(inc.size()); ++p) {
+      if (!edge_mask[inc[p]]) continue;
+      csr.port[out] = p;
+      csr.edge[out] = inc[p];
+      ++out;
+    }
+  }
+  return csr;
+}
+
+}  // namespace treelocal::local

@@ -1,0 +1,39 @@
+#ifndef TREELOCAL_LOCAL_INDUCED_H_
+#define TREELOCAL_LOCAL_INDUCED_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace treelocal::local {
+
+// Induced sub-CSR over a host engine's port space: for every host node, the
+// sublist of its ports whose incident edge passes an edge mask, laid out in
+// one shared CSR. This is what lets an engine algorithm run on a substructure
+// of the host graph (the underlying graph of a semi-graph, the atypical edge
+// set of a decomposition, one forest of a forest split) WITHOUT building a
+// compacted Subgraph/Graph/Network per piece: the host engine's channel
+// tables are reused as-is and the algorithm simply iterates its induced
+// ports instead of all of them. Entries keep the host port index (so
+// NodeContext::Send/Recv work unchanged) and the host edge id (so callers
+// can attach per-edge payloads such as forest indices).
+struct InducedPortCsr {
+  std::vector<int> offset;  // size n+1: node v's entries are [offset[v], offset[v+1])
+  std::vector<int> port;    // host port index at the node
+  std::vector<int> edge;    // host edge id, parallel to `port`
+  int max_degree = 0;       // max induced degree over all nodes
+
+  int Degree(int v) const { return offset[v + 1] - offset[v]; }
+};
+
+// One pass over the host CSR: entry (v, p) is kept iff
+// edge_mask[IncidentEdges(v)[p]] is true. O(n + 2m); entries per node are in
+// host port order (ascending neighbor id, matching the compacted subgraph's
+// adjacency order, which is what keeps transcripts comparable to runs on an
+// explicitly compacted graph).
+InducedPortCsr BuildInducedPortCsr(const Graph& host,
+                                   const std::vector<char>& edge_mask);
+
+}  // namespace treelocal::local
+
+#endif  // TREELOCAL_LOCAL_INDUCED_H_

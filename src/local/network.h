@@ -326,6 +326,7 @@ class Network {
   // by default so the hot loop stays branch-only). Consumed by the engine
   // benches to show per-round cost tracks active_nodes, not n.
   void set_record_round_times(bool on) { record_round_times_ = on; }
+  bool record_round_times() const { return record_round_times_; }
   const std::vector<double>& round_seconds() const { return round_seconds_; }
 
   // Post-run read-back of external node v's state slot (the engine does the

@@ -80,6 +80,7 @@ class ParallelNetwork {
   // Opt-in per-round wall-clock timing, as in Network (covers the full
   // round: fork, node pass, join, reduction, stitch).
   void set_record_round_times(bool on) { record_round_times_ = on; }
+  bool record_round_times() const { return record_round_times_; }
   const std::vector<double>& round_seconds() const { return round_seconds_; }
 
   // White-box epoch access for the wrap-guard regression tests.

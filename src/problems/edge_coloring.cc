@@ -53,23 +53,30 @@ std::string EdgeColoringProblem::LabelToString(Label l) const {
          std::to_string(ColorPart(l)) + ")";
 }
 
-std::vector<int64_t> EdgeColoringProblem::UsedColorsAt(
-    const Graph& g, int v, const HalfEdgeLabeling& h) const {
-  std::vector<int64_t> used;
+int EdgeColoringProblem::AppendUsedColorsAt(
+    const Graph& g, int v, const HalfEdgeLabeling& h,
+    std::vector<int64_t>& out) const {
+  int appended = 0;
   for (int e : g.IncidentEdges(v)) {
     Label l = h.Get(e, v);
-    if (l != kUnsetLabel && IsPair(l)) used.push_back(ColorPart(l));
+    if (l != kUnsetLabel && IsPair(l)) {
+      out.push_back(ColorPart(l));
+      ++appended;
+    }
   }
-  return used;
+  return appended;
 }
 
 void EdgeColoringProblem::SequentialAssignEdge(const Graph& g, int e,
                                                HalfEdgeLabeling& h) const {
+  // This is the inner loop of every class sweep and star stage: one shared
+  // buffer for both endpoints' used colors (the per-endpoint counts ride
+  // along for the degree parts) instead of three temporary vectors.
   auto [v1, v2] = g.Endpoints(e);
-  std::vector<int64_t> used1 = UsedColorsAt(g, v1, h);
-  std::vector<int64_t> used2 = UsedColorsAt(g, v2, h);
-  std::vector<int64_t> forbidden = used1;
-  forbidden.insert(forbidden.end(), used2.begin(), used2.end());
+  std::vector<int64_t> forbidden;
+  forbidden.reserve(static_cast<size_t>(g.Degree(v1)) + g.Degree(v2));
+  int used1 = AppendUsedColorsAt(g, v1, h, forbidden);
+  int used2 = AppendUsedColorsAt(g, v2, h, forbidden);
   std::sort(forbidden.begin(), forbidden.end());
   int64_t c = 1;
   for (int64_t f : forbidden) {
@@ -78,8 +85,8 @@ void EdgeColoringProblem::SequentialAssignEdge(const Graph& g, int e,
   }
   // Lemma 16: c <= |used1| + |used2| + 1, so with a_i = |used_i| + 1 the
   // edge constraint a1 + a2 >= c + 1 holds automatically.
-  int64_t a1 = static_cast<int64_t>(used1.size()) + 1;
-  int64_t a2 = static_cast<int64_t>(used2.size()) + 1;
+  int64_t a1 = used1 + 1;
+  int64_t a2 = used2 + 1;
   if (mode_ == Mode::kTwoDeltaMinusOne) {
     a1 = 1;
     a2 = 1;  // degree parts unused; bound b <= 2Delta-1 holds since

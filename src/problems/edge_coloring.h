@@ -62,8 +62,10 @@ class EdgeColoringProblem : public EdgeProblem {
                             const std::vector<int64_t>& colors) const;
 
  private:
-  std::vector<int64_t> UsedColorsAt(const Graph& g, int v,
-                                    const HalfEdgeLabeling& h) const;
+  // Appends the colors already used on v's half-edges to `out` and returns
+  // how many were appended (the degree-part input of Lemma 16).
+  int AppendUsedColorsAt(const Graph& g, int v, const HalfEdgeLabeling& h,
+                         std::vector<int64_t>& out) const;
 
   Mode mode_;
   int delta_;
