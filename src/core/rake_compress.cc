@@ -98,6 +98,12 @@ int RakeCompressIterationBound(int64_t n, int k) {
   return CeilLogBase(n, k) + 1;
 }
 
+std::unique_ptr<local::Algorithm> MakeRakeCompressAlgorithm(const Graph& tree,
+                                                            int k) {
+  if (k < 2) throw std::invalid_argument("rake-compress requires k >= 2");
+  return std::make_unique<RakeCompressAlgorithm>(tree, k);
+}
+
 int RakeCompressCanonicalK(int k, int max_degree) {
   // The transcript depends on k only below the max degree: with k >= Delta
   // every node passes the Compress predicate in iteration 1. The floor of 2

@@ -2,6 +2,7 @@
 #define TREELOCAL_CORE_RAKE_COMPRESS_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/graph/graph.h"
@@ -97,6 +98,13 @@ int RakeCompressCanonicalK(int k, int max_degree);
 RakeCompressResult RunRakeCompressReference(const Graph& tree,
                                             const std::vector<int64_t>& ids,
                                             int k);
+
+// The bare engine Algorithm behind all of the drivers above (k >= 2,
+// `tree` must outlive the returned object). For callers that need to drive
+// the engine directly — the standalone transcript verifier replays
+// checkpointed runs through this without any of the result plumbing.
+std::unique_ptr<local::Algorithm> MakeRakeCompressAlgorithm(const Graph& tree,
+                                                            int k);
 
 // Paper bound on iterations (Lemma 9 / Algorithm 1 loop count).
 int RakeCompressIterationBound(int64_t n, int k);

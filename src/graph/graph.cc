@@ -7,14 +7,23 @@
 namespace treelocal {
 
 Graph Graph::FromEdges(int n, std::vector<std::pair<int, int>> edges) {
+  if (n < 0) {
+    throw std::invalid_argument("Graph::FromEdges: node count " +
+                                std::to_string(n) + " is negative");
+  }
   Graph g;
   g.n_ = n;
   g.edge_u_.reserve(edges.size());
   g.edge_v_.reserve(edges.size());
   for (auto& [a, b] : edges) {
-    if (a == b) throw std::invalid_argument("self-loop");
+    if (a == b) {
+      throw std::invalid_argument("Graph::FromEdges: self-loop at node " +
+                                  std::to_string(a));
+    }
     if (a < 0 || b < 0 || a >= n || b >= n) {
-      throw std::invalid_argument("endpoint out of range");
+      throw std::invalid_argument(
+          "Graph::FromEdges: endpoint out of range [0, " + std::to_string(n) +
+          ") in edge (" + std::to_string(a) + ", " + std::to_string(b) + ")");
     }
     if (a > b) std::swap(a, b);
     g.edge_u_.push_back(a);
@@ -47,7 +56,9 @@ Graph Graph::FromEdges(int n, std::vector<std::pair<int, int>> edges) {
     std::sort(tmp.begin(), tmp.end());
     for (int i = lo; i < hi; ++i) {
       if (i > lo && tmp[i - lo].first == tmp[i - lo - 1].first) {
-        throw std::invalid_argument("duplicate edge");
+        throw std::invalid_argument(
+            "Graph::FromEdges: duplicate edge (" + std::to_string(v) + ", " +
+            std::to_string(tmp[i - lo].first) + ")");
       }
       g.nbr_[i] = tmp[i - lo].first;
       g.inc_[i] = tmp[i - lo].second;

@@ -8,6 +8,8 @@
 #endif
 
 #include "src/local/network.h"
+#include "src/local/snapshot.h"
+#include "src/support/fault.h"
 
 namespace treelocal::local {
 
@@ -36,12 +38,20 @@ void AdviseHugePages(void* data, size_t bytes) {
 
 }  // namespace
 
+BatchNetwork::~BatchNetwork() = default;  // out of line: pending_resume_
+
 BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
                            int batch)
     : BatchNetwork(graph, std::move(ids), batch, 1) {}
 
 BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
                            int batch, int num_threads)
+    : BatchNetwork(graph, std::move(ids), batch, num_threads,
+                   NetworkOptions{}) {}
+
+BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
+                           int batch, int num_threads,
+                           const NetworkOptions& options)
     : graph_(&graph),
       ids_(std::move(ids)),
       batch_(batch),
@@ -53,6 +63,13 @@ BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
   if (batch < 1) {
     throw std::invalid_argument("BatchNetwork batch must be >= 1");
   }
+  if (options.relabel) {
+    throw std::invalid_argument(
+        "BatchNetwork does not support NetworkOptions::relabel (the batch "
+        "layouts are external-indexed)");
+  }
+  digest_messages_ = options.digest_messages;
+  fault_ = options.fault;
   const int n = graph.NumNodes();
   const size_t slots =
       2 * static_cast<size_t>(graph.NumEdges()) * static_cast<size_t>(batch);
@@ -95,11 +112,21 @@ BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
   rounds_.assign(batch, 0);
   round_active_.assign(batch, 0);
   sent_before_.assign(batch, 0);
+  macc_before_.assign(batch, 0);
   round_live_.assign(batch, 0);
+  round_msg_acc_.resize(batch);
+  round_digests_.resize(batch);
+  digest_.assign(batch, support::kDigestSeed);
+  msg_acc_.assign(batch, 0);
 }
 
 std::vector<int> BatchNetwork::Run(const std::vector<Algorithm*>& algs,
                                    int max_rounds) {
+  return RunUntil(algs, max_rounds, -1);
+}
+
+std::vector<int> BatchNetwork::RunUntil(const std::vector<Algorithm*>& algs,
+                                        int max_rounds, int pause_at_round) {
   if (static_cast<int>(algs.size()) != batch_) {
     throw std::invalid_argument("BatchNetwork::Run needs one Algorithm per instance");
   }
@@ -119,50 +146,65 @@ std::vector<int> BatchNetwork::Run(const std::vector<Algorithm*>& algs,
           "across the batch");
     }
   }
-  state_stride_ = stride;
-  state_plane_bytes_ = stride * static_cast<size_t>(n);
-  const size_t state_total = state_plane_bytes_ * static_cast<size_t>(B);
-  if (state_.capacity() < state_total) {
-    // Same hugepage treatment as the mailboxes: advise before the fill
-    // faults the pages in. Re-arms with no reallocation once warm.
-    state_.reserve(state_total);
-    AdviseHugePages(state_.data(), state_total);
-  }
-  state_.assign(state_total, 0);
-  if (stride > 0) {
-    for (int b = 0; b < B; ++b) {
-      unsigned char* plane = state_.data() + state_plane_bytes_ * b;
-      for (int v = 0; v < n; ++v) {
-        algs[b]->InitState(v, plane + static_cast<size_t>(v) * stride);
+
+  if (pending_resume_ != nullptr) {
+    const std::unique_ptr<SnapshotData> snap = std::move(pending_resume_);
+    ApplySnapshot(*snap, stride);
+  } else if (!mid_run_) {
+    state_stride_ = stride;
+    state_plane_bytes_ = stride * static_cast<size_t>(n);
+    const size_t state_total = state_plane_bytes_ * static_cast<size_t>(B);
+    if (state_.capacity() < state_total) {
+      // Same hugepage treatment as the mailboxes: advise before the fill
+      // faults the pages in. Re-arms with no reallocation once warm.
+      state_.reserve(state_total);
+      AdviseHugePages(state_.data(), state_total);
+    }
+    state_.assign(state_total, 0);
+    if (stride > 0) {
+      for (int b = 0; b < B; ++b) {
+        unsigned char* plane = state_.data() + state_plane_bytes_ * b;
+        for (int v = 0; v < n; ++v) {
+          algs[b]->InitState(v, plane + static_cast<size_t>(v) * stride);
+        }
       }
     }
-  }
 
-  round_ = 0;
-  std::fill(messages_delivered_.begin(), messages_delivered_.end(), 0);
-  for (auto& stats : round_stats_) stats.clear();
-  std::fill(rounds_.begin(), rounds_.end(), 0);
-  // Same epoch scheme and wrap guards as Network::Run: advance by 2 so round
-  // 0 cannot see the previous run's stamps; re-arm once (amortized zero)
-  // when the 32-bit stamp nears the wrap, both between runs and mid-run.
-  if (epoch_ >= INT32_MAX - 4) {
-    for (auto& m : stage_) m.engine_stamp = -1;
-    for (auto& m : inbox_) m.engine_stamp = -1;
-    for (Shard& sh : shards_) {
-      std::fill(sh.dirty_stamp.begin(), sh.dirty_stamp.end(), -1);
+    round_ = 0;
+    std::fill(messages_delivered_.begin(), messages_delivered_.end(), 0);
+    for (auto& stats : round_stats_) stats.clear();
+    std::fill(rounds_.begin(), rounds_.end(), 0);
+    for (auto& maccs : round_msg_acc_) maccs.clear();
+    for (auto& digests : round_digests_) digests.clear();
+    std::fill(digest_.begin(), digest_.end(), support::kDigestSeed);
+    std::fill(msg_acc_.begin(), msg_acc_.end(), 0);
+    // Same epoch scheme and wrap guards as Network::Run: advance by 2 so round
+    // 0 cannot see the previous run's stamps; re-arm once (amortized zero)
+    // when the 32-bit stamp nears the wrap, both between runs and mid-run.
+    if (epoch_ >= INT32_MAX - 4) {
+      for (auto& m : stage_) m.engine_stamp = -1;
+      for (auto& m : inbox_) m.engine_stamp = -1;
+      for (Shard& sh : shards_) {
+        std::fill(sh.dirty_stamp.begin(), sh.dirty_stamp.end(), -1);
+      }
+      epoch_ = 1;
     }
-    epoch_ = 1;
+    epoch_ += 2;
+    for (Shard& sh : shards_) sh.dirty.clear();  // a previous Run may have
+                                                 // thrown mid-round
+    std::fill(halted_.begin(), halted_.end(), 0);
+    for (int v = 0; v < n; ++v) {
+      node_live_[v].store(B, std::memory_order_relaxed);
+    }
+    std::fill(live_nodes_.begin(), live_nodes_.end(), n);
+    active_.resize(n);
+    std::iota(active_.begin(), active_.end(), 0);
   }
-  epoch_ += 2;
-  for (Shard& sh : shards_) sh.dirty.clear();  // a previous Run may have
-                                               // thrown mid-round
-  std::fill(halted_.begin(), halted_.end(), 0);
-  for (int v = 0; v < n; ++v) {
-    node_live_[v].store(B, std::memory_order_relaxed);
-  }
-  std::fill(live_nodes_.begin(), live_nodes_.end(), n);
-  active_.resize(n);
-  std::iota(active_.begin(), active_.end(), 0);
+  // else: continuing a paused run (same algorithm objects) — all per-run
+  // state is live exactly as the pause left it.
+  mid_run_ = false;
+  finished_ = false;
+  support::FaultInjector* const fault = fault_;
 
   // One context per shard: same engine, but each carries its shard's own
   // dirty-channel bookkeeping.
@@ -198,6 +240,7 @@ std::vector<int> BatchNetwork::Run(const std::vector<Algorithm*>& algs,
           if (halted_[static_cast<size_t>(v) * B + b]) continue;
           ctx.node_ = v;
           ctx.state_ = state_plane + static_cast<size_t>(v) * state_stride_;
+          if (fault != nullptr) fault->OnVisit(round_);
           algs[b]->OnRound(ctx);
           ++round_active_[b];
         }
@@ -258,8 +301,24 @@ std::vector<int> BatchNetwork::Run(const std::vector<Algorithm*>& algs,
   };
 
   while (!active_.empty()) {
+    if (round_ == pause_at_round) {
+      // Pause at the shared batch boundary before this round. A live
+      // instance reports the rounds it has run so far; a finished one its
+      // frozen solo count.
+      mid_run_ = true;
+      std::vector<int> out(B);
+      for (int b = 0; b < B; ++b) {
+        out[b] = live_nodes_[b] > 0 ? round_ : rounds_[b];
+      }
+      return out;
+    }
+    if (fault != nullptr) fault->AtRoundBoundary(round_);
     if (round_ >= max_rounds) {
-      throw std::runtime_error("BatchNetwork::Run exceeded max_rounds");
+      uint64_t folded = support::kDigestSeed;
+      for (uint64_t d : digest_) folded = support::Mix64(folded ^ d);
+      throw MaxRoundsExceededError("BatchNetwork::Run", round_,
+                                   static_cast<int64_t>(active_.size()),
+                                   folded);
     }
     if (epoch_ >= INT32_MAX - 2) {
       // Mid-run rebase, as in Network::Run: keep exactly this round's
@@ -278,6 +337,7 @@ std::vector<int> BatchNetwork::Run(const std::vector<Algorithm*>& algs,
     for (int b = 0; b < B; ++b) {
       round_active_[b] = 0;
       sent_before_[b] = messages_delivered_[b];
+      macc_before_[b] = msg_acc_[b];
     }
     active_now = static_cast<int>(active_.size());
     // One pass over the shared worklist serves every live instance at each
@@ -320,8 +380,15 @@ std::vector<int> BatchNetwork::Run(const std::vector<Algorithm*>& algs,
     active_.resize(kept);
     for (int b = 0; b < B; ++b) {
       if (round_active_[b] == 0) continue;  // instance finished earlier
-      round_stats_[b].push_back(
-          {round_active_[b], messages_delivered_[b] - sent_before_[b]});
+      const int64_t sent_delta = messages_delivered_[b] - sent_before_[b];
+      // Unsigned subtraction: the accumulator is cumulative mod 2^64, so
+      // the watermark delta is exactly this round's hash sum.
+      const uint64_t macc_delta = msg_acc_[b] - macc_before_[b];
+      round_stats_[b].push_back({round_active_[b], sent_delta});
+      round_msg_acc_[b].push_back(macc_delta);
+      digest_[b] = support::ChainDigest(digest_[b], round_active_[b],
+                                        sent_delta, macc_delta);
+      round_digests_[b].push_back(digest_[b]);
       // Instance b halted its last node this round: its solo run would have
       // exited here, so its round count freezes while the batch continues.
       if (live_nodes_[b] == 0) rounds_[b] = round_ + 1;
@@ -329,7 +396,175 @@ std::vector<int> BatchNetwork::Run(const std::vector<Algorithm*>& algs,
     ++round_;
     ++epoch_;
   }
+  finished_ = true;
   return rounds_;
+}
+
+void BatchNetwork::Checkpoint(std::ostream& out) const {
+  if (!mid_run_ && !finished_) {
+    throw SnapshotError(
+        "BatchNetwork::Checkpoint: engine is not at a round boundary (pause "
+        "with RunUntil or let a run finish first)");
+  }
+  const int n = graph_->NumNodes();
+  const int B = batch_;
+  SnapshotData snap;
+  snap.engine_kind = SnapshotEngineKind::kBatchNetwork;
+  snap.digest_messages = digest_messages_;
+  snap.finished = finished_;
+  snap.batch = B;
+  snap.round = round_;
+  snap.n = n;
+  snap.m = graph_->NumEdges();
+  snap.graph_hash = GraphHash(*graph_);
+  snap.ids_hash = IdsHash(ids_);
+  snap.edges.reserve(static_cast<size_t>(snap.m));
+  for (int e = 0; e < graph_->NumEdges(); ++e) {
+    snap.edges.emplace_back(graph_->EdgeU(e), graph_->EdgeV(e));
+  }
+  snap.ids = ids_;
+  snap.instances.resize(static_cast<size_t>(B));
+  for (int b = 0; b < B; ++b) {
+    SnapshotData::Instance& inst = snap.instances[static_cast<size_t>(b)];
+    inst.messages_delivered = messages_delivered_[b];
+    inst.rounds_completed = rounds_[b];
+    inst.rounds.resize(round_stats_[b].size());
+    for (size_t r = 0; r < round_stats_[b].size(); ++r) {
+      inst.rounds[r] = {round_stats_[b][r], round_msg_acc_[b][r],
+                        round_digests_[b][r]};
+    }
+    // Halt flags and state planes are external-indexed already; only the
+    // (node, instance) interleave needs unzipping.
+    inst.halted.resize(static_cast<size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      inst.halted[v] = halted_[static_cast<size_t>(v) * B + b];
+    }
+    inst.state_stride = static_cast<uint32_t>(state_stride_);
+    inst.state.assign(
+        state_.begin() + static_cast<ptrdiff_t>(state_plane_bytes_ * b),
+        state_.begin() + static_cast<ptrdiff_t>(state_plane_bytes_ * (b + 1)));
+    // Deliverables: instance b's inbox slots stamped epoch - 1, walked in
+    // external (node, port) order — the canonical sort for free. Stamped
+    // all-zero slots are skipped, and a fully-halted instance records
+    // none, both as in BuildSoloSnapshot — the latter is what makes an
+    // instance that finished rounds before the batch serialize identically
+    // to its solo run.
+    if (live_nodes_[b] > 0) {
+      for (int v = 0; v < n; ++v) {
+        const int deg = graph_->Degree(v);
+        for (int p = 0; p < deg; ++p) {
+          const Message& m =
+              inbox_[static_cast<size_t>(first_[v] + p) * B + b];
+          if (m.engine_stamp == epoch_ - 1 &&
+              (m.size != 0 || m.word0 != 0 || m.word1 != 0)) {
+            inst.deliverable.push_back({v, p, m.word0, m.word1, m.size});
+          }
+        }
+      }
+    }
+  }
+  WriteSnapshot(out, snap);
+}
+
+void BatchNetwork::Resume(std::istream& in) {
+  SnapshotData snap = ReadSnapshot(in);
+  internal::ValidateForEngine(snap, *graph_, ids_, batch_, digest_messages_,
+                              "BatchNetwork");
+  pending_resume_ = std::make_unique<SnapshotData>(std::move(snap));
+  mid_run_ = false;
+  finished_ = false;
+}
+
+void BatchNetwork::ApplySnapshot(const SnapshotData& snap, size_t stride) {
+  const int n = graph_->NumNodes();
+  const int B = batch_;
+  for (const auto& inst : snap.instances) {
+    if (inst.state_stride != stride) {
+      throw SnapshotError(
+          "resume state stride mismatch: snapshot has " +
+          std::to_string(inst.state_stride) +
+          " bytes/node, algorithm declares " + std::to_string(stride) +
+          " (resumed with a different Algorithm?)");
+    }
+  }
+  // Epoch advance (with the pre-run wrap guard) before the deliverables are
+  // stamped epoch_ - 1, as in the solo engines.
+  if (epoch_ >= INT32_MAX - 4) {
+    for (auto& m : stage_) m.engine_stamp = -1;
+    for (auto& m : inbox_) m.engine_stamp = -1;
+    for (Shard& sh : shards_) {
+      std::fill(sh.dirty_stamp.begin(), sh.dirty_stamp.end(), -1);
+    }
+    epoch_ = 1;
+  }
+  epoch_ += 2;
+  for (Shard& sh : shards_) sh.dirty.clear();
+  state_stride_ = stride;
+  state_plane_bytes_ = stride * static_cast<size_t>(n);
+  const size_t state_total = state_plane_bytes_ * static_cast<size_t>(B);
+  if (state_.capacity() < state_total) {
+    state_.reserve(state_total);
+    AdviseHugePages(state_.data(), state_total);
+  }
+  state_.assign(state_total, 0);
+  round_ = snap.round;
+  for (int v = 0; v < n; ++v) {
+    node_live_[v].store(0, std::memory_order_relaxed);
+  }
+  for (int b = 0; b < B; ++b) {
+    const SnapshotData::Instance& inst =
+        snap.instances[static_cast<size_t>(b)];
+    int live = 0;
+    for (int v = 0; v < n; ++v) {
+      const char h = inst.halted[v];
+      halted_[static_cast<size_t>(v) * B + b] = h;
+      if (!h) {
+        node_live_[v].fetch_add(1, std::memory_order_relaxed);
+        ++live;
+      }
+    }
+    live_nodes_[b] = live;
+    // A live instance has executed every batch round so far; a finished one
+    // froze at rounds_completed — either way its history length is pinned.
+    const auto expect = static_cast<size_t>(
+        live > 0 ? snap.round : inst.rounds_completed);
+    if (inst.rounds.size() != expect) {
+      throw SnapshotError(
+          "invalid snapshot: instance round history disagrees with its halt "
+          "state");
+    }
+    messages_delivered_[b] = inst.messages_delivered;
+    rounds_[b] = inst.rounds_completed;
+    round_stats_[b].clear();
+    round_msg_acc_[b].clear();
+    round_digests_[b].clear();
+    digest_[b] = support::kDigestSeed;
+    for (const SnapshotRound& r : inst.rounds) {
+      round_stats_[b].push_back(r.stats);
+      round_msg_acc_[b].push_back(r.msg_acc);
+      round_digests_[b].push_back(r.digest);
+      digest_[b] = r.digest;
+    }
+    msg_acc_[b] = 0;
+    std::copy(inst.state.begin(), inst.state.end(),
+              state_.begin() + static_cast<ptrdiff_t>(state_plane_bytes_ * b));
+    for (const SnapshotMessage& msg : inst.deliverable) {
+      Message& slot =
+          inbox_[static_cast<size_t>(first_[msg.node] + msg.port) * B + b];
+      slot.word0 = msg.word0;
+      slot.word1 = msg.word1;
+      slot.size = msg.size;
+      slot.engine_stamp = epoch_ - 1;
+    }
+  }
+  // Worklist invariant as in the solo engines: stable compaction from iota
+  // leaves the nodes live in >= 1 instance in ascending order.
+  active_.clear();
+  for (int v = 0; v < n; ++v) {
+    if (node_live_[v].load(std::memory_order_relaxed) > 0) {
+      active_.push_back(v);
+    }
+  }
 }
 
 }  // namespace treelocal::local

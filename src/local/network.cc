@@ -6,9 +6,24 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "src/local/snapshot.h"
+#include "src/support/fault.h"
+
 namespace treelocal::local {
 
 const Message Network::kNoMessage{};
+
+MaxRoundsExceededError::MaxRoundsExceededError(const std::string& engine,
+                                               int round, int64_t active_nodes,
+                                               uint64_t last_digest)
+    : std::runtime_error(engine + " exceeded max_rounds: round " +
+                         std::to_string(round) + " reached with " +
+                         std::to_string(active_nodes) +
+                         " live node(s), last transcript digest " +
+                         std::to_string(last_digest)),
+      round_(round),
+      active_(active_nodes),
+      digest_(last_digest) {}
 
 namespace internal {
 
@@ -106,9 +121,14 @@ void ArmStatePlane(Algorithm& alg, int n, const int* inv,
 Network::Network(const Graph& graph, std::vector<int64_t> ids)
     : Network(graph, std::move(ids), NetworkOptions{}) {}
 
+Network::~Network() = default;  // out of line: pending_resume_'s type
+
 Network::Network(const Graph& graph, std::vector<int64_t> ids,
                  const NetworkOptions& options)
-    : graph_(&graph), ids_(std::move(ids)) {
+    : graph_(&graph),
+      ids_(std::move(ids)),
+      digest_messages_(options.digest_messages),
+      fault_(options.fault) {
   assert(static_cast<int>(ids_.size()) == graph.NumNodes());
   const int n = graph.NumNodes();
   const size_t channels = 2 * static_cast<size_t>(graph.NumEdges());
@@ -127,44 +147,87 @@ Network::Network(const Graph& graph, std::vector<int64_t> ids,
 }
 
 int Network::Run(Algorithm& alg, int max_rounds) {
-  round_ = 0;
-  messages_delivered_ = 0;
-  round_stats_.clear();
-  round_seconds_.clear();
-  // Advancing by 2 leaves every stamp from the previous run strictly below
-  // epoch_ - 1, so round 0 of this run cannot observe stale messages. The
-  // 32-bit stamp wraps only after ~2^31 cumulative rounds; when the epoch
-  // nears the wrap, re-arm every stamp once — amortized cost zero. (The old
-  // guard computed INT32_MAX - max_rounds - 4, which went negative for
-  // max_rounds near INT32_MAX, re-armed on every call, and still let a
-  // post-re-arm run of ~2^31 rounds overflow the stamp mid-run; the wrap
-  // check is now independent of max_rounds, with the mid-run case handled
-  // by the per-round rebase below.)
-  if (epoch_ >= INT32_MAX - 4) {
-    for (auto& m : inbox_) m.engine_stamp = -1;
-    for (auto& m : outbox_) m.engine_stamp = -1;
-    epoch_ = 1;
-  }
-  epoch_ += 2;
-  std::fill(halted_.begin(), halted_.end(), 0);
-  // The worklist holds INTERNAL ranks; external ids come from order_ at
-  // visit time, so the state plane below is walked in rank (= worklist)
-  // order every round, relabeled or not.
+  return RunUntil(alg, max_rounds, -1);
+}
+
+int Network::RunUntil(Algorithm& alg, int max_rounds, int pause_at_round) {
   const int n = graph_->NumNodes();
-  active_.resize(n);
-  std::iota(active_.begin(), active_.end(), 0);
-  internal::ArmStatePlane(alg, n, order_.data(), state_, state_stride_);
+  if (pending_resume_ != nullptr) {
+    // Resume path: restore the checkpointed boundary instead of starting
+    // fresh. The epoch must advance (with the pre-run wrap guard) BEFORE
+    // the snapshot applies — the deliverable messages are stamped
+    // epoch_ - 1, i.e. relative to the epoch the resumed round runs under.
+    const std::unique_ptr<SnapshotData> snap = std::move(pending_resume_);
+    if (epoch_ >= INT32_MAX - 4) {
+      for (auto& m : inbox_) m.engine_stamp = -1;
+      for (auto& m : outbox_) m.engine_stamp = -1;
+      epoch_ = 1;
+    }
+    epoch_ += 2;
+    round_seconds_.clear();
+    internal::ApplySoloSnapshot(*snap, *graph_, alg.StateBytes(), order_,
+                                perm_, first_, inbox_, halted_, active_,
+                                state_, state_stride_, round_stats_,
+                                round_msg_acc_, round_digests_, digest_,
+                                round_, messages_delivered_, epoch_);
+  } else if (!mid_run_) {
+    // Fresh run: reset all per-run state.
+    round_ = 0;
+    messages_delivered_ = 0;
+    round_stats_.clear();
+    round_seconds_.clear();
+    round_msg_acc_.clear();
+    round_digests_.clear();
+    digest_ = support::kDigestSeed;
+    // Advancing by 2 leaves every stamp from the previous run strictly below
+    // epoch_ - 1, so round 0 of this run cannot observe stale messages. The
+    // 32-bit stamp wraps only after ~2^31 cumulative rounds; when the epoch
+    // nears the wrap, re-arm every stamp once — amortized cost zero. (The old
+    // guard computed INT32_MAX - max_rounds - 4, which went negative for
+    // max_rounds near INT32_MAX, re-armed on every call, and still let a
+    // post-re-arm run of ~2^31 rounds overflow the stamp mid-run; the wrap
+    // check is now independent of max_rounds, with the mid-run case handled
+    // by the per-round rebase below.)
+    if (epoch_ >= INT32_MAX - 4) {
+      for (auto& m : inbox_) m.engine_stamp = -1;
+      for (auto& m : outbox_) m.engine_stamp = -1;
+      epoch_ = 1;
+    }
+    epoch_ += 2;
+    std::fill(halted_.begin(), halted_.end(), 0);
+    // The worklist holds INTERNAL ranks; external ids come from order_ at
+    // visit time, so the state plane below is walked in rank (= worklist)
+    // order every round, relabeled or not.
+    active_.resize(n);
+    std::iota(active_.begin(), active_.end(), 0);
+    internal::ArmStatePlane(alg, n, order_.data(), state_, state_stride_);
+  }
+  // else: continuing a paused run — mailboxes, worklist, state plane, and
+  // the digest chain are all live exactly as the pause left them.
+  mid_run_ = false;  // any exit other than the pause return is not a pause
+  finished_ = false;
   unsigned char* const state_base = state_.data();
   const size_t stride = state_stride_;
+  support::FaultInjector* const fault = fault_;
 
   NodeContext ctx(graph_, ids_.data(), nullptr, nullptr);
   ctx.first_ = first_.data();
   ctx.send_chan_ = send_chan_.data();
   ctx.halted_ = halted_.data();
   ctx.sent_ = &messages_delivered_;
+  ctx.macc_ = digest_messages_ ? &msg_acc_ : nullptr;
   while (!active_.empty()) {
+    if (round_ == pause_at_round) {
+      // Pause at the boundary BEFORE this round executes; the worklist,
+      // mailboxes, and digest chain describe exactly this boundary.
+      mid_run_ = true;
+      return round_;
+    }
+    if (fault != nullptr) fault->AtRoundBoundary(round_);
     if (round_ >= max_rounds) {
-      throw std::runtime_error("Network::Run exceeded max_rounds");
+      throw MaxRoundsExceededError("Network::Run", round_,
+                                   static_cast<int64_t>(active_.size()),
+                                   digest_);
     }
     if (epoch_ >= INT32_MAX - 2) {
       // Mid-run rebase (a single run of ~2^31 rounds): keep exactly this
@@ -185,6 +248,7 @@ int Network::Run(Algorithm& alg, int max_rounds) {
     if (record_round_times_) t0 = std::chrono::steady_clock::now();
     const int active_now = static_cast<int>(active_.size());
     const int64_t sent_before = messages_delivered_;
+    msg_acc_ = 0;
     // Run all active nodes, compacting halted ones out in place (stable:
     // the engine's node order is preserved, matching the reference engine).
     // Both the external-id lookup (order_) and the state slot stream in
@@ -195,12 +259,17 @@ int Network::Run(Algorithm& alg, int max_rounds) {
       const int v = order_[i];
       ctx.node_ = v;
       ctx.state_ = state_base + static_cast<size_t>(i) * stride;
+      if (fault != nullptr) fault->OnVisit(round_);
       alg.OnRound(ctx);
       active_[kept] = i;
       kept += halted_[v] ? 0 : 1;
     }
     active_.resize(kept);
-    round_stats_.push_back({active_now, messages_delivered_ - sent_before});
+    const int64_t round_sent = messages_delivered_ - sent_before;
+    round_stats_.push_back({active_now, round_sent});
+    round_msg_acc_.push_back(msg_acc_);
+    digest_ = support::ChainDigest(digest_, active_now, round_sent, msg_acc_);
+    round_digests_.push_back(digest_);
     if (record_round_times_) {
       round_seconds_.push_back(
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -211,7 +280,31 @@ int Network::Run(Algorithm& alg, int max_rounds) {
     ++round_;
     ++epoch_;
   }
+  finished_ = true;
   return round_;
+}
+
+void Network::Checkpoint(std::ostream& out) const {
+  if (!mid_run_ && !finished_) {
+    throw SnapshotError(
+        "Network::Checkpoint: engine is not at a round boundary (pause with "
+        "RunUntil or let a run finish first)");
+  }
+  const SnapshotData snap = internal::BuildSoloSnapshot(
+      *graph_, ids_, SnapshotEngineKind::kNetwork, digest_messages_,
+      finished_, round_, messages_delivered_, round_stats_, round_msg_acc_,
+      round_digests_, halted_, state_, state_stride_, order_, first_, inbox_,
+      epoch_);
+  WriteSnapshot(out, snap);
+}
+
+void Network::Resume(std::istream& in) {
+  SnapshotData snap = ReadSnapshot(in);
+  internal::ValidateForEngine(snap, *graph_, ids_, /*batch=*/1,
+                              digest_messages_, "Network");
+  pending_resume_ = std::make_unique<SnapshotData>(std::move(snap));
+  mid_run_ = false;
+  finished_ = false;
 }
 
 }  // namespace treelocal::local

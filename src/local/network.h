@@ -3,13 +3,23 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/support/digest.h"
 #include "src/support/thread_pool.h"
 
+namespace treelocal::support {
+class FaultInjector;  // src/support/fault.h
+}  // namespace treelocal::support
+
 namespace treelocal::local {
+
+struct SnapshotData;  // src/local/snapshot.h
 
 // Fixed-capacity message: the deterministic symmetry-breaking algorithms in
 // this repository send at most two 64-bit words per edge per round. Keeping
@@ -57,6 +67,46 @@ struct NetworkOptions {
   // relabel won its head round but lost rounds 1+ to scattered
   // external-indexed state arrays (measured net ~0.96x; see ROADMAP).
   bool relabel = false;
+
+  // Fold full message contents into the per-round transcript digest chain
+  // (see round_digests()). Off by default: the chain then covers the
+  // per-round active/message counters only, at O(1) per round and zero
+  // hot-path cost. On, every present Send adds one content hash
+  // (sender-keyed, order-independent — bit-identical across engines,
+  // relabel, and thread counts; bench_snapshot measures the overhead).
+  // Checkpoints record the setting and Resume requires it to match.
+  bool digest_messages = false;
+
+  // Deterministic fault-injection hook (src/support/fault.h); non-owning,
+  // null = no faults. The engine calls AtRoundBoundary before each round
+  // and OnVisit before each OnRound dispatch; an armed injector throws a
+  // structured FaultInjectedError and the engine stays reusable (the next
+  // Run re-initializes all per-run state).
+  support::FaultInjector* fault = nullptr;
+};
+
+// Thrown by every engine's Run when max_rounds is reached with live nodes.
+// The LOCAL algorithms in this repository must converge, so hitting the
+// bound is a diagnosis-worthy failure — the error carries the round
+// reached, the live-node count, and the last transcript digest instead of
+// truncating silently.
+class MaxRoundsExceededError : public std::runtime_error {
+ public:
+  MaxRoundsExceededError(const std::string& engine, int round,
+                         int64_t active_nodes, uint64_t last_digest);
+
+  int round() const { return round_; }
+  // Nodes still live when the bound was hit (for BatchNetwork: nodes live
+  // in at least one instance).
+  int64_t active_nodes() const { return active_; }
+  // Digest-chain value after the last executed round (for BatchNetwork:
+  // folded over the per-instance chains).
+  uint64_t last_digest() const { return digest_; }
+
+ private:
+  int round_;
+  int64_t active_;
+  uint64_t digest_;
 };
 
 class Network;
@@ -184,6 +234,10 @@ class NodeContext {
   Message* outbox_ = nullptr;
   char* halted_ = nullptr;
   int64_t* sent_ = nullptr;  // messages-delivered counter (per shard)
+  // Message-content digest accumulator (per shard), or null when
+  // NetworkOptions::digest_messages is off — the null check is the whole
+  // hot-path cost of the feature when disabled.
+  uint64_t* macc_ = nullptr;
   int32_t epoch_ = 0;
 
   // BatchNetwork per-shard dirty-channel bookkeeping: the shard running
@@ -312,8 +366,51 @@ class Network {
   // re-arm cost is zero.
   int Run(Algorithm& alg, int max_rounds);
 
+  // Run with a pause point: executes rounds until every node halts,
+  // `max_rounds` is hit (MaxRoundsExceededError), or the boundary BEFORE
+  // round `pause_at_round` is reached — whichever comes first — and returns
+  // rounds executed so far. A paused engine (paused() == true) may be
+  // checkpointed and must be continued with the SAME algorithm object
+  // (state plane and mailboxes are live); pass a pause round already behind
+  // the run (or -1) to continue to completion. Run(alg, r) is
+  // RunUntil(alg, r, -1).
+  int RunUntil(Algorithm& alg, int max_rounds, int pause_at_round);
+
+  // True after a RunUntil stopped at its pause round with live nodes.
+  bool paused() const { return mid_run_; }
+  // True once the last run completed (every node halted).
+  bool finished() const { return finished_; }
+
+  // Serializes the current round boundary (engine must be paused() or
+  // finished()) as a canonical snapshot: resuming it — in this engine, a
+  // fresh one, any other solo engine, any relabel/thread setting — continues
+  // the run bit-identically. Throws SnapshotError mid-round or before any
+  // run.
+  void Checkpoint(std::ostream& out) const;
+
+  // Loads a snapshot (fully validated, including against this engine's
+  // graph/IDs/options) and arms the engine to continue from it: the next
+  // RunUntil call resumes at the recorded round instead of starting fresh.
+  // The algorithm passed to that call must declare the recorded state
+  // stride. Throws SnapshotError on any mismatch, leaving the engine
+  // unchanged.
+  void Resume(std::istream& in);
+
+  ~Network();
+
   const Graph& graph() const { return *graph_; }
   const std::vector<int64_t>& ids() const { return ids_; }
+
+  // Transcript digest chain for the run so far: round_digests()[r] =
+  // ChainDigest(digest[r-1], active, sent, msg_acc) after round r, seeded
+  // with support::kDigestSeed. Bit-identical across every engine, relabel
+  // setting, and thread count; with NetworkOptions::digest_messages it also
+  // commits to full message contents (round_message_accs()).
+  const std::vector<uint64_t>& round_digests() const { return round_digests_; }
+  const std::vector<uint64_t>& round_message_accs() const {
+    return round_msg_acc_;
+  }
+  uint64_t last_digest() const { return digest_; }
 
   // Total present messages delivered over the last Run (a message sent in
   // the final round is counted: it is delivered even if nobody reads it).
@@ -374,6 +471,21 @@ class Network {
   std::vector<RoundStats> round_stats_;
   std::vector<double> round_seconds_;
   bool record_round_times_ = false;
+  // Transcript digest chain (see round_digests()): per-round content
+  // accumulators, per-round chained digests, and the running values.
+  std::vector<uint64_t> round_msg_acc_;
+  std::vector<uint64_t> round_digests_;
+  uint64_t digest_ = support::kDigestSeed;
+  uint64_t msg_acc_ = 0;  // current round's content accumulator
+  bool digest_messages_ = false;
+  support::FaultInjector* fault_ = nullptr;
+  // Pause/resume state machine: mid_run_ marks a run paused at a round
+  // boundary (mailboxes/state live, same-algorithm continuation only);
+  // finished_ marks a completed run; pending_resume_ holds a validated
+  // snapshot the next RunUntil applies instead of a fresh start.
+  bool mid_run_ = false;
+  bool finished_ = false;
+  std::unique_ptr<SnapshotData> pending_resume_;
   int32_t epoch_ = 1;  // monotone across runs (wrap-guarded in Run);
                        // stamps start at -1
   int round_ = 0;
@@ -460,11 +572,16 @@ class BatchNetwork {
   // lanes (>= 1; capped at `batch` — slices are whole instances).
   BatchNetwork(const Graph& graph, std::vector<int64_t> ids, int batch,
                int num_threads);
+  // Options form: honors digest_messages and fault; relabel is rejected
+  // (std::invalid_argument) — the batch layouts are external-indexed.
+  BatchNetwork(const Graph& graph, std::vector<int64_t> ids, int batch,
+               int num_threads, const NetworkOptions& options);
 
   // Virtual only so deleting a ParallelBatchNetwork through a
   // BatchNetwork* is defined; there are no other virtuals and no virtual
-  // dispatch anywhere near the hot paths.
-  virtual ~BatchNetwork() = default;
+  // dispatch anywhere near the hot paths. Out of line for the
+  // incomplete-type pending_resume_ member.
+  virtual ~BatchNetwork();
 
   // Runs algs[b] as instance b (algs.size() must equal batch()) until every
   // instance has halted every node; throws if a round would exceed
@@ -472,6 +589,26 @@ class BatchNetwork {
   // round counts; entry b equals what Network::Run(*algs[b], ...) returns
   // on the same graph and IDs.
   std::vector<int> Run(const std::vector<Algorithm*>& algs, int max_rounds);
+
+  // Pause-point form of Run, mirroring Network::RunUntil: stops at the
+  // shared batch boundary BEFORE round `pause_at_round` (all instances
+  // pause together; continuation requires the SAME algorithm objects).
+  // Returns per-instance rounds executed so far (a paused live instance
+  // reports the rounds it has run; a finished one its frozen solo count).
+  std::vector<int> RunUntil(const std::vector<Algorithm*>& algs,
+                            int max_rounds, int pause_at_round);
+
+  bool paused() const { return mid_run_; }
+  bool finished() const { return finished_; }
+
+  // Canonical checkpoint of the paused/finished batch: batch() per-instance
+  // sections in one snapshot. Instance b's section is byte-identical to the
+  // snapshot a solo Network running algs[b] would write at the same round,
+  // except for the engine-kind tag and batch width — which is what the
+  // cross-engine resume tests exploit. Same contract as Network::Checkpoint
+  // / Resume otherwise.
+  void Checkpoint(std::ostream& out) const;
+  void Resume(std::istream& in);
 
   int batch() const { return batch_; }
   int num_threads() const { return pool_.num_threads(); }
@@ -486,6 +623,16 @@ class BatchNetwork {
   const std::vector<RoundStats>& round_stats(int instance) const {
     return round_stats_[instance];
   }
+
+  // Per-instance transcript digest chains; instance b's chain is
+  // bit-identical to the solo Network chain for algs[b].
+  const std::vector<uint64_t>& round_digests(int instance) const {
+    return round_digests_[instance];
+  }
+  const std::vector<uint64_t>& round_message_accs(int instance) const {
+    return round_msg_acc_[instance];
+  }
+  uint64_t last_digest(int instance) const { return digest_[instance]; }
 
   // Post-run read-back of instance `instance`'s state slot for node v.
   template <typename T>
@@ -502,6 +649,11 @@ class BatchNetwork {
 
  private:
   friend class NodeContext;
+
+  // Restores a validated snapshot into engine storage at the start of the
+  // resuming RunUntil (batch_network.cc); `stride` is the resuming
+  // algorithms' uniform StateBytes, checked against the snapshot's.
+  void ApplySnapshot(const SnapshotData& snap, size_t stride);
 
   // One contiguous instance slice of the batch plus its private
   // dirty-channel bookkeeping and scratch (see the sharded-mode comment).
@@ -547,8 +699,21 @@ class BatchNetwork {
   std::vector<int64_t> messages_delivered_;          // per instance
   std::vector<std::vector<RoundStats>> round_stats_;  // per instance
   std::vector<int> rounds_;           // per instance, last Run's result
+  // Per-instance digest chains (see Network). msg_acc_ is written from the
+  // Send hot path (per instance, so instance shards stay disjoint); the
+  // chains advance at the round barrier only for instances live that round.
+  std::vector<std::vector<uint64_t>> round_msg_acc_;
+  std::vector<std::vector<uint64_t>> round_digests_;
+  std::vector<uint64_t> digest_;
+  std::vector<uint64_t> msg_acc_;
+  bool digest_messages_ = false;
+  support::FaultInjector* fault_ = nullptr;
+  bool mid_run_ = false;
+  bool finished_ = false;
+  std::unique_ptr<SnapshotData> pending_resume_;
   std::vector<int> round_active_;     // scratch: per-instance ran-this-round
   std::vector<int64_t> sent_before_;  // scratch: per-instance sent watermark
+  std::vector<uint64_t> macc_before_;  // scratch: content-acc watermark
   std::vector<char> round_live_;      // scratch: live-at-round-start flags
   support::ThreadPool pool_;          // num_threads lanes, persistent
   int32_t epoch_ = 1;  // same monotone/wrap-guarded scheme as Network
@@ -589,13 +754,21 @@ inline void NodeContext::Send(int port, Message m) {
     Message& s = outbox_[c];
     if (s.engine_stamp == epoch_) {
       // Second write on this channel this round: last write wins, undo the
-      // earlier message's contribution to the counter.
+      // earlier message's contribution to the counter (and, under content
+      // digests, to the accumulator — the slot's previous writer was this
+      // same (node, port), so its hash is recomputable in place).
       *sent_ -= s.present();
+      if (macc_ != nullptr && s.present()) {
+        *macc_ -= support::MessageHash(node_, port, s.word0, s.word1, s.size);
+      }
     }
     const int32_t stamp = epoch_;
     s = m;
     s.engine_stamp = stamp;
     *sent_ += m.present();
+    if (macc_ != nullptr && m.present()) {
+      *macc_ += support::MessageHash(node_, port, m.word0, m.word1, m.size);
+    }
     return;
   }
   if (batch_ != nullptr) [[likely]] {
@@ -610,10 +783,18 @@ inline void NodeContext::Send(int port, Message m) {
     const int32_t stamp = batch_->epoch_;
     if (s.engine_stamp == stamp) {
       batch_->messages_delivered_[instance_] -= s.present();
+      if (batch_->digest_messages_ && s.present()) {
+        batch_->msg_acc_[instance_] -=
+            support::MessageHash(node_, port, s.word0, s.word1, s.size);
+      }
     }
     s = m;
     s.engine_stamp = stamp;
     batch_->messages_delivered_[instance_] += m.present();
+    if (batch_->digest_messages_ && m.present()) {
+      batch_->msg_acc_[instance_] +=
+          support::MessageHash(node_, port, m.word0, m.word1, m.size);
+    }
     if (batch_dirty_stamp_[chan] != stamp) {
       batch_dirty_stamp_[chan] = stamp;
       batch_dirty_->push_back(chan);

@@ -6,7 +6,12 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "src/local/snapshot.h"
+#include "src/support/fault.h"
+
 namespace treelocal::local {
+
+ParallelNetwork::~ParallelNetwork() = default;
 
 ParallelNetwork::ParallelNetwork(const Graph& graph, std::vector<int64_t> ids,
                                  int num_threads)
@@ -15,7 +20,11 @@ ParallelNetwork::ParallelNetwork(const Graph& graph, std::vector<int64_t> ids,
 ParallelNetwork::ParallelNetwork(const Graph& graph, std::vector<int64_t> ids,
                                  int num_threads,
                                  const NetworkOptions& options)
-    : graph_(&graph), ids_(std::move(ids)), pool_(num_threads) {
+    : graph_(&graph),
+      ids_(std::move(ids)),
+      digest_messages_(options.digest_messages),
+      fault_(options.fault),
+      pool_(num_threads) {
   assert(static_cast<int>(ids_.size()) == graph.NumNodes());
   const int n = graph.NumNodes();
   const size_t channels = 2 * static_cast<size_t>(graph.NumEdges());
@@ -35,29 +44,59 @@ ParallelNetwork::ParallelNetwork(const Graph& graph, std::vector<int64_t> ids,
 }
 
 int ParallelNetwork::Run(Algorithm& alg, int max_rounds) {
+  return RunUntil(alg, max_rounds, -1);
+}
+
+int ParallelNetwork::RunUntil(Algorithm& alg, int max_rounds,
+                              int pause_at_round) {
   const int T = pool_.num_threads();
-  round_ = 0;
-  messages_delivered_ = 0;
-  round_stats_.clear();
-  round_seconds_.clear();
-  // Epoch scheme identical to Network::Run: advance by 2 so round 0 cannot
-  // see the previous run's stamps; re-arm once near the 32-bit wrap.
-  if (epoch_ >= INT32_MAX - 4) {
-    for (auto& m : inbox_) m.engine_stamp = -1;
-    for (auto& m : outbox_) m.engine_stamp = -1;
-    epoch_ = 1;
-  }
-  epoch_ += 2;
-  std::fill(halted_.begin(), halted_.end(), 0);
-  // Internal-rank worklist + internal-indexed state plane, as in Network;
-  // the single InitState pass runs on the calling thread (per-node init is
-  // order-independent by contract, and Run-setup cost is not sharded).
   const int n = graph_->NumNodes();
-  active_.resize(n);
-  std::iota(active_.begin(), active_.end(), 0);
-  internal::ArmStatePlane(alg, n, order_.data(), state_, state_stride_);
+  if (pending_resume_ != nullptr) {
+    // Resume path, identical to Network::RunUntil's: epoch advance (with
+    // the wrap guard) first, so the applied deliverables' epoch_ - 1 stamps
+    // are relative to the resumed round's epoch.
+    const std::unique_ptr<SnapshotData> snap = std::move(pending_resume_);
+    if (epoch_ >= INT32_MAX - 4) {
+      for (auto& m : inbox_) m.engine_stamp = -1;
+      for (auto& m : outbox_) m.engine_stamp = -1;
+      epoch_ = 1;
+    }
+    epoch_ += 2;
+    round_seconds_.clear();
+    internal::ApplySoloSnapshot(*snap, *graph_, alg.StateBytes(), order_,
+                                perm_, first_, inbox_, halted_, active_,
+                                state_, state_stride_, round_stats_,
+                                round_msg_acc_, round_digests_, digest_,
+                                round_, messages_delivered_, epoch_);
+  } else if (!mid_run_) {
+    round_ = 0;
+    messages_delivered_ = 0;
+    round_stats_.clear();
+    round_seconds_.clear();
+    round_msg_acc_.clear();
+    round_digests_.clear();
+    digest_ = support::kDigestSeed;
+    // Epoch scheme identical to Network::Run: advance by 2 so round 0 cannot
+    // see the previous run's stamps; re-arm once near the 32-bit wrap.
+    if (epoch_ >= INT32_MAX - 4) {
+      for (auto& m : inbox_) m.engine_stamp = -1;
+      for (auto& m : outbox_) m.engine_stamp = -1;
+      epoch_ = 1;
+    }
+    epoch_ += 2;
+    std::fill(halted_.begin(), halted_.end(), 0);
+    // Internal-rank worklist + internal-indexed state plane, as in Network;
+    // the single InitState pass runs on the calling thread (per-node init is
+    // order-independent by contract, and Run-setup cost is not sharded).
+    active_.resize(n);
+    std::iota(active_.begin(), active_.end(), 0);
+    internal::ArmStatePlane(alg, n, order_.data(), state_, state_stride_);
+  }
+  mid_run_ = false;
+  finished_ = false;
   unsigned char* const state_base = state_.data();
   const size_t stride = state_stride_;
+  support::FaultInjector* const fault = fault_;
 
   // One context per shard: identical CSR views except for the per-shard
   // message counter slot. Rebuilt per Run (T small), reusing no heap.
@@ -70,6 +109,7 @@ int ParallelNetwork::Run(Algorithm& alg, int max_rounds) {
     ctx.send_chan_ = send_chan_.data();
     ctx.halted_ = halted_.data();
     ctx.sent_ = &shards_[t].sent;
+    ctx.macc_ = digest_messages_ ? &shards_[t].macc : nullptr;
   }
 
   // Shard boundaries: contiguous worklist ranges, balanced to +-1. The
@@ -98,6 +138,7 @@ int ParallelNetwork::Run(Algorithm& alg, int max_rounds) {
       const int v = order_[i];
       ctx.node_ = v;
       ctx.state_ = state_base + static_cast<size_t>(i) * stride;
+      if (fault != nullptr) fault->OnVisit(round_);
       alg.OnRound(ctx);
       work[kept] = i;
       kept += halted_[v] ? 0 : 1;
@@ -106,8 +147,15 @@ int ParallelNetwork::Run(Algorithm& alg, int max_rounds) {
   };
 
   while (!active_.empty()) {
+    if (round_ == pause_at_round) {
+      mid_run_ = true;
+      return round_;
+    }
+    if (fault != nullptr) fault->AtRoundBoundary(round_);
     if (round_ >= max_rounds) {
-      throw std::runtime_error("ParallelNetwork::Run exceeded max_rounds");
+      throw MaxRoundsExceededError("ParallelNetwork::Run", round_,
+                                   static_cast<int64_t>(active_.size()),
+                                   digest_);
     }
     if (epoch_ >= INT32_MAX - 2) {
       // Mid-run rebase, as in Network::Run.
@@ -127,17 +175,27 @@ int ParallelNetwork::Run(Algorithm& alg, int max_rounds) {
       ctx.outbox_ = outbox_.data();
       ctx.epoch_ = epoch_;
       shards_[t].sent = 0;
+      shards_[t].macc = 0;
       shards_[t].kept = 0;
     }
     pool_.ParallelFor(T, round_task);
     // Round barrier (the pool join above is the visibility fence): reduce
     // the per-shard message counters — a sum, so the total equals the
     // serial engine's regardless of sharding — and stitch the compacted
-    // shard prefixes into one dense worklist, preserving node order.
+    // shard prefixes into one dense worklist, preserving node order. The
+    // content accumulator reduces the same way (per-send hashes sum mod
+    // 2^64, so any sharding yields the serial value).
     int64_t round_sent = 0;
-    for (int t = 0; t < T; ++t) round_sent += shards_[t].sent;
+    uint64_t round_macc = 0;
+    for (int t = 0; t < T; ++t) {
+      round_sent += shards_[t].sent;
+      round_macc += shards_[t].macc;
+    }
     messages_delivered_ += round_sent;
     round_stats_.push_back({active_now, round_sent});
+    round_msg_acc_.push_back(round_macc);
+    digest_ = support::ChainDigest(digest_, active_now, round_sent, round_macc);
+    round_digests_.push_back(digest_);
     int dst = shards_[0].kept;
     for (int t = 1; t < T; ++t) {
       const int lo = shard_lo(t);
@@ -157,7 +215,31 @@ int ParallelNetwork::Run(Algorithm& alg, int max_rounds) {
     ++round_;
     ++epoch_;
   }
+  finished_ = true;
   return round_;
+}
+
+void ParallelNetwork::Checkpoint(std::ostream& out) const {
+  if (!mid_run_ && !finished_) {
+    throw SnapshotError(
+        "ParallelNetwork::Checkpoint: engine is not at a round boundary "
+        "(pause with RunUntil or let a run finish first)");
+  }
+  const SnapshotData snap = internal::BuildSoloSnapshot(
+      *graph_, ids_, SnapshotEngineKind::kParallelNetwork, digest_messages_,
+      finished_, round_, messages_delivered_, round_stats_, round_msg_acc_,
+      round_digests_, halted_, state_, state_stride_, order_, first_, inbox_,
+      epoch_);
+  WriteSnapshot(out, snap);
+}
+
+void ParallelNetwork::Resume(std::istream& in) {
+  SnapshotData snap = ReadSnapshot(in);
+  internal::ValidateForEngine(snap, *graph_, ids_, /*batch=*/1,
+                              digest_messages_, "ParallelNetwork");
+  pending_resume_ = std::make_unique<SnapshotData>(std::move(snap));
+  mid_run_ = false;
+  finished_ = false;
 }
 
 }  // namespace treelocal::local

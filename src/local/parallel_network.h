@@ -2,6 +2,7 @@
 #define TREELOCAL_LOCAL_PARALLEL_NETWORK_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/graph/graph.h"
@@ -60,11 +61,30 @@ class ParallelNetwork {
   // usable (the next Run re-initializes all per-run state).
   int Run(Algorithm& alg, int max_rounds);
 
+  // Pause/checkpoint/resume, same contract as Network (the snapshot is
+  // canonical, so a checkpoint taken here resumes on any solo engine at any
+  // thread count and vice versa — enforced by the snapshot suites).
+  int RunUntil(Algorithm& alg, int max_rounds, int pause_at_round);
+  bool paused() const { return mid_run_; }
+  bool finished() const { return finished_; }
+  void Checkpoint(std::ostream& out) const;
+  void Resume(std::istream& in);
+
+  ~ParallelNetwork();
+
   int num_threads() const { return pool_.num_threads(); }
   const Graph& graph() const { return *graph_; }
   const std::vector<int64_t>& ids() const { return ids_; }
   int64_t messages_delivered() const { return messages_delivered_; }
   const std::vector<RoundStats>& round_stats() const { return round_stats_; }
+
+  // Transcript digest chain, bit-identical to Network's for every thread
+  // count (the content accumulator sums per-shard, and sums commute).
+  const std::vector<uint64_t>& round_digests() const { return round_digests_; }
+  const std::vector<uint64_t>& round_message_accs() const {
+    return round_msg_acc_;
+  }
+  uint64_t last_digest() const { return digest_; }
 
   // Post-run read-back of external node v's engine-managed state slot, as
   // in Network::StateAt. The plane itself is shared by all shards during a
@@ -89,10 +109,13 @@ class ParallelNetwork {
 
  private:
   // Per-shard round state, cache-line padded: sent is the shard's message
-  // counter (NodeContext::sent_ points here), kept the size of the shard's
-  // compacted worklist range.
+  // counter (NodeContext::sent_ points here), macc its content-digest
+  // accumulator (NodeContext::macc_; summed at the barrier — sums commute,
+  // so the round accumulator is shard-count independent), kept the size of
+  // the shard's compacted worklist range.
   struct alignas(64) Shard {
     int64_t sent = 0;
+    uint64_t macc = 0;
     int kept = 0;
   };
 
@@ -110,6 +133,15 @@ class ParallelNetwork {
   std::vector<Shard> shards_;
   std::vector<RoundStats> round_stats_;
   std::vector<double> round_seconds_;
+  // Digest chain + pause/resume state machine, as in Network.
+  std::vector<uint64_t> round_msg_acc_;
+  std::vector<uint64_t> round_digests_;
+  uint64_t digest_ = support::kDigestSeed;
+  bool digest_messages_ = false;
+  support::FaultInjector* fault_ = nullptr;
+  bool mid_run_ = false;
+  bool finished_ = false;
+  std::unique_ptr<SnapshotData> pending_resume_;
   support::ThreadPool pool_;
   bool record_round_times_ = false;
   int32_t epoch_ = 1;

@@ -1,7 +1,11 @@
 #include "src/local/reference_network.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+
+#include "src/local/snapshot.h"
+#include "src/support/fault.h"
 
 namespace treelocal::local {
 
@@ -19,12 +23,35 @@ void RefHalt(ReferenceNetwork& ref, int node) { ref.HaltAt(node); }
 
 }  // namespace internal
 
+ReferenceNetwork::~ReferenceNetwork() = default;
+
 ReferenceNetwork::ReferenceNetwork(const Graph& graph, std::vector<int64_t> ids)
-    : graph_(&graph), ids_(std::move(ids)) {
+    : ReferenceNetwork(graph, std::move(ids), NetworkOptions{}) {}
+
+ReferenceNetwork::ReferenceNetwork(const Graph& graph, std::vector<int64_t> ids,
+                                   const NetworkOptions& options)
+    : graph_(&graph),
+      ids_(std::move(ids)),
+      digest_messages_(options.digest_messages),
+      fault_(options.fault) {
   assert(static_cast<int>(ids_.size()) == graph.NumNodes());
-  inbox_.assign(2 * static_cast<size_t>(graph.NumEdges()), Message{});
-  outbox_.assign(2 * static_cast<size_t>(graph.NumEdges()), Message{});
+  const size_t channels = 2 * static_cast<size_t>(graph.NumEdges());
+  inbox_.assign(channels, Message{});
+  outbox_.assign(channels, Message{});
   halted_.assign(graph.NumNodes(), 0);
+  // Invert the channel indexing once: Channel(e, s) holds what endpoint s
+  // of edge e sent, on this port of the sender. Used by the content
+  // digest's inbox scan and by Resume's deliverable placement.
+  chan_sender_.assign(channels, 0);
+  chan_port_.assign(channels, 0);
+  for (int v = 0; v < graph.NumNodes(); ++v) {
+    auto inc = graph.IncidentEdges(v);
+    for (int p = 0; p < static_cast<int>(inc.size()); ++p) {
+      const size_t c = Channel(inc[p], graph.EndpointSlot(inc[p], v));
+      chan_sender_[c] = v;
+      chan_port_[c] = p;
+    }
+  }
 }
 
 const Message& ReferenceNetwork::RecvAt(int node, int port) const {
@@ -49,20 +76,82 @@ void ReferenceNetwork::HaltAt(int node) {
 }
 
 int ReferenceNetwork::Run(Algorithm& alg, int max_rounds) {
+  return RunUntil(alg, max_rounds, -1);
+}
+
+int ReferenceNetwork::RunUntil(Algorithm& alg, int max_rounds,
+                               int pause_at_round) {
   const int n = graph_->NumNodes();
-  round_ = 0;
-  num_halted_ = 0;
-  messages_delivered_ = 0;
-  round_stats_.clear();
-  std::fill(halted_.begin(), halted_.end(), 0);
-  std::fill(inbox_.begin(), inbox_.end(), Message{});
-  std::fill(outbox_.begin(), outbox_.end(), Message{});
-  internal::ArmStatePlane(alg, n, nullptr, state_, state_stride_);
+  if (pending_resume_ != nullptr) {
+    const std::unique_ptr<SnapshotData> snap = std::move(pending_resume_);
+    const SnapshotData::Instance& inst = snap->instances[0];
+    if (inst.state_stride != alg.StateBytes()) {
+      throw SnapshotError(
+          "resume state stride mismatch: snapshot has " +
+          std::to_string(inst.state_stride) +
+          " bytes/node, algorithm declares " +
+          std::to_string(alg.StateBytes()) +
+          " (resumed with a different Algorithm?)");
+    }
+    if (static_cast<int32_t>(inst.rounds.size()) != snap->round) {
+      throw SnapshotError(
+          "solo snapshot must carry one round record per executed round");
+    }
+    round_ = snap->round;
+    messages_delivered_ = inst.messages_delivered;
+    round_stats_.clear();
+    round_msg_acc_.clear();
+    round_digests_.clear();
+    digest_ = support::kDigestSeed;
+    for (const SnapshotRound& r : inst.rounds) {
+      round_stats_.push_back(r.stats);
+      round_msg_acc_.push_back(r.msg_acc);
+      round_digests_.push_back(r.digest);
+      digest_ = r.digest;
+    }
+    std::copy(inst.halted.begin(), inst.halted.end(), halted_.begin());
+    num_halted_ = static_cast<int>(
+        std::count(halted_.begin(), halted_.end(), char{1}));
+    state_stride_ = alg.StateBytes();
+    state_.assign(inst.state.begin(), inst.state.end());  // external-indexed
+    std::fill(inbox_.begin(), inbox_.end(), Message{});
+    std::fill(outbox_.begin(), outbox_.end(), Message{});
+    // Place each deliverable where the receiver's RecvAt(node, port) looks:
+    // the channel the far endpoint of that port sent on.
+    for (const SnapshotMessage& msg : inst.deliverable) {
+      const int e = graph_->IncidentEdges(msg.node)[msg.port];
+      const int sender_slot = 1 - graph_->EndpointSlot(e, msg.node);
+      inbox_[Channel(e, sender_slot)] =
+          Message{msg.word0, msg.word1, msg.size};
+    }
+  } else if (!mid_run_) {
+    round_ = 0;
+    num_halted_ = 0;
+    messages_delivered_ = 0;
+    round_stats_.clear();
+    round_msg_acc_.clear();
+    round_digests_.clear();
+    digest_ = support::kDigestSeed;
+    std::fill(halted_.begin(), halted_.end(), 0);
+    std::fill(inbox_.begin(), inbox_.end(), Message{});
+    std::fill(outbox_.begin(), outbox_.end(), Message{});
+    internal::ArmStatePlane(alg, n, nullptr, state_, state_stride_);
+  }
+  // else: continuing a paused run — everything is live as the pause left it.
+  mid_run_ = false;
+  finished_ = false;
+  support::FaultInjector* const fault = fault_;
 
   NodeContext ctx(graph_, ids_.data(), nullptr, this);
   while (num_halted_ < n) {
+    if (round_ == pause_at_round) {
+      mid_run_ = true;
+      return round_;
+    }
+    if (fault != nullptr) fault->AtRoundBoundary(round_);
     if (round_ >= max_rounds) {
-      throw std::runtime_error("ReferenceNetwork::Run exceeded max_rounds");
+      throw MaxRoundsExceededError("ReferenceNetwork::Run", round_,
+                                   n - num_halted_, digest_);
     }
     ctx.round_ = round_;
     const int active_now = n - num_halted_;
@@ -70,20 +159,95 @@ int ReferenceNetwork::Run(Algorithm& alg, int max_rounds) {
       if (halted_[v]) continue;
       ctx.node_ = v;
       ctx.state_ = state_.data() + static_cast<size_t>(v) * state_stride_;
+      if (fault != nullptr) fault->OnVisit(round_);
       alg.OnRound(ctx);
     }
     // Deliver: what was sent this round is readable next round.
     std::swap(inbox_, outbox_);
     for (auto& m : outbox_) m = Message{};
     int64_t sent = 0;
-    for (const auto& m : inbox_) {
-      if (m.present()) ++sent;
+    uint64_t macc = 0;
+    for (size_t c = 0; c < inbox_.size(); ++c) {
+      const Message& m = inbox_[c];
+      if (m.present()) {
+        ++sent;
+        if (digest_messages_) {
+          // Sender-keyed, like the optimized engines' Send-path hashing
+          // (the naive engine pays its usual O(2m) scan instead).
+          macc += support::MessageHash(chan_sender_[c], chan_port_[c],
+                                       m.word0, m.word1, m.size);
+        }
+      }
     }
     messages_delivered_ += sent;
     round_stats_.push_back({active_now, sent});
+    round_msg_acc_.push_back(macc);
+    digest_ = support::ChainDigest(digest_, active_now, sent, macc);
+    round_digests_.push_back(digest_);
     ++round_;
   }
+  finished_ = true;
   return round_;
+}
+
+void ReferenceNetwork::Checkpoint(std::ostream& out) const {
+  if (!mid_run_ && !finished_) {
+    throw SnapshotError(
+        "ReferenceNetwork::Checkpoint: engine is not at a round boundary "
+        "(pause with RunUntil or let a run finish first)");
+  }
+  const int n = graph_->NumNodes();
+  SnapshotData snap;
+  snap.engine_kind = SnapshotEngineKind::kReferenceNetwork;
+  snap.digest_messages = digest_messages_;
+  snap.finished = finished_;
+  snap.batch = 1;
+  snap.round = round_;
+  snap.n = n;
+  snap.m = graph_->NumEdges();
+  snap.graph_hash = GraphHash(*graph_);
+  snap.ids_hash = IdsHash(ids_);
+  snap.edges.reserve(static_cast<size_t>(snap.m));
+  for (int e = 0; e < graph_->NumEdges(); ++e) {
+    snap.edges.emplace_back(graph_->EdgeU(e), graph_->EdgeV(e));
+  }
+  snap.ids = ids_;
+  snap.instances.resize(1);
+  SnapshotData::Instance& inst = snap.instances[0];
+  inst.messages_delivered = messages_delivered_;
+  inst.rounds_completed = finished_ ? round_ : 0;
+  inst.rounds.resize(round_stats_.size());
+  for (size_t r = 0; r < round_stats_.size(); ++r) {
+    inst.rounds[r] = {round_stats_[r], round_msg_acc_[r], round_digests_[r]};
+  }
+  inst.halted = halted_;
+  inst.state_stride = static_cast<uint32_t>(state_stride_);
+  inst.state = state_;  // external-indexed already
+  // The naive engine has no epoch stamps; a boundary inbox holds exactly
+  // last round's sends (everything else was cleared), so any non-zero slot
+  // is deliverable — the same canonical set the stamped engines record.
+  // Finished runs record none, as in BuildSoloSnapshot.
+  if (!finished_) {
+    for (int v = 0; v < n; ++v) {
+      const int deg = graph_->Degree(v);
+      for (int p = 0; p < deg; ++p) {
+        const Message& m = RecvAt(v, p);
+        if (m.size != 0 || m.word0 != 0 || m.word1 != 0) {
+          inst.deliverable.push_back({v, p, m.word0, m.word1, m.size});
+        }
+      }
+    }
+  }
+  WriteSnapshot(out, snap);
+}
+
+void ReferenceNetwork::Resume(std::istream& in) {
+  SnapshotData snap = ReadSnapshot(in);
+  internal::ValidateForEngine(snap, *graph_, ids_, /*batch=*/1,
+                              digest_messages_, "ReferenceNetwork");
+  pending_resume_ = std::make_unique<SnapshotData>(std::move(snap));
+  mid_run_ = false;
+  finished_ = false;
 }
 
 }  // namespace treelocal::local

@@ -2,6 +2,7 @@
 #define TREELOCAL_LOCAL_REFERENCE_NETWORK_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/local/network.h"
@@ -20,14 +21,38 @@ namespace treelocal::local {
 class ReferenceNetwork {
  public:
   ReferenceNetwork(const Graph& graph, std::vector<int64_t> ids);
+  // Options form: honors digest_messages (content hashing here is a naive
+  // O(2m)-per-round inbox scan — reference semantics, reference cost) and
+  // fault; relabel is accepted and ignored (pure layout, transcripts are
+  // relabel-invariant by contract, and the naive engine has no layout).
+  ReferenceNetwork(const Graph& graph, std::vector<int64_t> ids,
+                   const NetworkOptions& options);
+
+  ~ReferenceNetwork();
 
   // Same contract as Network::Run.
   int Run(Algorithm& alg, int max_rounds);
+
+  // Pause/checkpoint/resume, same contract as Network: the snapshot is
+  // canonical, so the oracle can pick up any solo engine's checkpoint and
+  // vice versa — the strongest differential check of the resume path.
+  int RunUntil(Algorithm& alg, int max_rounds, int pause_at_round);
+  bool paused() const { return mid_run_; }
+  bool finished() const { return finished_; }
+  void Checkpoint(std::ostream& out) const;
+  void Resume(std::istream& in);
 
   const Graph& graph() const { return *graph_; }
   const std::vector<int64_t>& ids() const { return ids_; }
   int64_t messages_delivered() const { return messages_delivered_; }
   const std::vector<RoundStats>& round_stats() const { return round_stats_; }
+
+  // Transcript digest chain, bit-identical to every optimized engine's.
+  const std::vector<uint64_t>& round_digests() const { return round_digests_; }
+  const std::vector<uint64_t>& round_message_accs() const {
+    return round_msg_acc_;
+  }
+  uint64_t last_digest() const { return digest_; }
 
   // Post-run read-back of node v's engine-managed state slot (the naive
   // engine keeps the plane external-indexed — no relabeling here).
@@ -56,6 +81,19 @@ class ReferenceNetwork {
   size_t state_stride_ = 0;
   std::vector<char> halted_;
   std::vector<RoundStats> round_stats_;
+  // Per-channel sender and sender-port, precomputed once for the content
+  // digest's post-swap inbox scan (Channel(e, s) was written by endpoint s
+  // of edge e on this port).
+  std::vector<int> chan_sender_, chan_port_;
+  // Digest chain + pause/resume state machine, as in Network.
+  std::vector<uint64_t> round_msg_acc_;
+  std::vector<uint64_t> round_digests_;
+  uint64_t digest_ = support::kDigestSeed;
+  bool digest_messages_ = false;
+  support::FaultInjector* fault_ = nullptr;
+  bool mid_run_ = false;
+  bool finished_ = false;
+  std::unique_ptr<SnapshotData> pending_resume_;
   int round_ = 0;
   int64_t messages_delivered_ = 0;
   int num_halted_ = 0;

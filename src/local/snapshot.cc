@@ -1,0 +1,528 @@
+#include "src/local/snapshot.h"
+
+#include <algorithm>
+#include <istream>
+#include <iterator>
+#include <ostream>
+
+#include "src/support/digest.h"
+
+namespace treelocal::local {
+
+namespace {
+
+using support::ChainDigest;
+using support::Fnv1a64;
+using support::kDigestSeed;
+
+// ---------------------------------------------------------------------------
+// Little-endian fixed-width byte encoding (platform-independent: the
+// snapshot is a wire artifact, not an in-memory dump).
+// ---------------------------------------------------------------------------
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Raw(const void* data, size_t n) {
+    const char* p = static_cast<const char*>(data);
+    bytes_.append(p, n);
+  }
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+// Bounds-checked cursor over the (already integrity-verified) payload.
+// Every read still validates remaining length, so even a hash-colliding
+// corruption can only produce a clean SnapshotError, never UB.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t U8() {
+    Need(1, "u8");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint32_t U32() {
+    Need(4, "u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  uint64_t U64() {
+    Need(8, "u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  void Raw(void* dst, size_t n, const char* what) {
+    Need(n, what);
+    std::copy(data_ + pos_, data_ + pos_ + n, static_cast<char*>(dst));
+    pos_ += n;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  void Need(size_t n, const char* what) {
+    if (size_ - pos_ < n) {
+      throw SnapshotError(std::string("truncated snapshot: need ") +
+                          std::to_string(n) + " bytes for " + what + " at offset " +
+                          std::to_string(pos_) + ", have " +
+                          std::to_string(size_ - pos_));
+    }
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void Check(bool ok, const std::string& msg) {
+  if (!ok) throw SnapshotError("invalid snapshot: " + msg);
+}
+
+// Structural validation shared by ReadSnapshot (untrusted bytes) and
+// WriteSnapshot (engine-built images — cheap insurance against engine
+// bugs): sizes, ranges, ordering, and the digest chain linkage.
+void ValidateData(const SnapshotData& snap) {
+  Check(snap.version == kSnapshotVersion,
+        "unsupported version " + std::to_string(snap.version) +
+            " (this build reads version " + std::to_string(kSnapshotVersion) +
+            ")");
+  Check(snap.batch >= 1, "batch must be >= 1");
+  Check(snap.n >= 0, "negative node count");
+  Check(snap.m >= 0, "negative edge count");
+  Check(snap.round >= 0, "negative round");
+  Check(static_cast<int64_t>(snap.edges.size()) == snap.m,
+        "edge list size disagrees with m");
+  Check(static_cast<int32_t>(snap.ids.size()) == snap.n,
+        "id list size disagrees with n");
+  for (const auto& [u, v] : snap.edges) {
+    Check(u >= 0 && v >= 0 && u < snap.n && v < snap.n,
+          "edge endpoint out of range [0, n)");
+    Check(u < v, "edge endpoints not in canonical u < v order");
+  }
+  Check(static_cast<int32_t>(snap.instances.size()) == snap.batch,
+        "instance count disagrees with batch");
+  for (const auto& inst : snap.instances) {
+    Check(inst.rounds_completed >= 0 && inst.rounds_completed <= snap.round,
+          "rounds_completed outside [0, round]");
+    Check(static_cast<int32_t>(inst.rounds.size()) <= snap.round,
+          "more round records than executed rounds");
+    uint64_t digest = kDigestSeed;
+    for (const SnapshotRound& r : inst.rounds) {
+      Check(r.stats.active_nodes >= 0, "negative active-node count");
+      Check(r.stats.messages_sent >= 0, "negative message count");
+      digest = ChainDigest(digest, r.stats.active_nodes,
+                           r.stats.messages_sent, r.msg_acc);
+      Check(r.digest == digest, "digest chain broken at round record");
+    }
+    Check(static_cast<int32_t>(inst.halted.size()) == snap.n,
+          "halt-flag section size disagrees with n");
+    int halted_count = 0;
+    for (char h : inst.halted) {
+      Check(h == 0 || h == 1, "halt flag not 0/1");
+      halted_count += h;
+    }
+    if (snap.finished) {
+      Check(halted_count == snap.n, "finished snapshot with live nodes");
+    }
+    Check(inst.state.size() ==
+              static_cast<size_t>(snap.n) * inst.state_stride,
+          "state plane size disagrees with n * stride");
+    const SnapshotMessage* prev = nullptr;
+    for (const SnapshotMessage& msg : inst.deliverable) {
+      Check(msg.node >= 0 && msg.node < snap.n,
+            "deliverable message node out of range [0, n)");
+      Check(msg.port >= 0 && static_cast<int64_t>(msg.port) < 2 * snap.m,
+            "deliverable message port out of range");
+      Check(msg.size <= 2, "deliverable message size not in {0, 1, 2}");
+      if (prev != nullptr) {
+        Check(prev->node < msg.node ||
+                  (prev->node == msg.node && prev->port < msg.port),
+              "deliverable messages not strictly sorted by (node, port)");
+      }
+      prev = &msg;
+    }
+    // Canonical form: a fully-halted instance records no deliverables (no
+    // node will ever Recv them — see the gather comment in
+    // BuildSoloSnapshot).
+    if (snap.n > 0 && halted_count == snap.n) {
+      Check(inst.deliverable.empty(),
+            "fully-halted instance records deliverable messages");
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t GraphHash(const Graph& g) {
+  uint64_t h = kDigestSeed;
+  const int32_t n = g.NumNodes();
+  const int64_t m = g.NumEdges();
+  h = Fnv1a64(&n, sizeof(n), h);
+  h = Fnv1a64(&m, sizeof(m), h);
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    const int32_t uv[2] = {g.EdgeU(e), g.EdgeV(e)};
+    h = Fnv1a64(uv, sizeof(uv), h);
+  }
+  return h;
+}
+
+uint64_t IdsHash(const std::vector<int64_t>& ids) {
+  return Fnv1a64(ids.data(), ids.size() * sizeof(int64_t));
+}
+
+void WriteSnapshot(std::ostream& out, const SnapshotData& snap) {
+  ValidateData(snap);
+  ByteWriter w;
+  w.U64(kSnapshotMagic);
+  w.U32(snap.version);
+  w.U32(snap.digest_messages ? kSnapshotFlagDigestMessages : 0);
+  w.U32(static_cast<uint32_t>(snap.engine_kind));
+  w.I32(snap.batch);
+  w.I32(snap.round);
+  w.U32(snap.finished ? 1 : 0);
+  w.I32(snap.n);
+  w.I64(snap.m);
+  w.U64(snap.graph_hash);
+  w.U64(snap.ids_hash);
+  for (const auto& [u, v] : snap.edges) {
+    w.I32(u);
+    w.I32(v);
+  }
+  for (int64_t id : snap.ids) w.I64(id);
+  for (const auto& inst : snap.instances) {
+    w.I64(inst.messages_delivered);
+    w.I32(inst.rounds_completed);
+    w.U32(static_cast<uint32_t>(inst.rounds.size()));
+    for (const SnapshotRound& r : inst.rounds) {
+      w.I32(r.stats.active_nodes);
+      w.I64(r.stats.messages_sent);
+      w.U64(r.msg_acc);
+      w.U64(r.digest);
+    }
+    w.Raw(inst.halted.data(), inst.halted.size());
+    w.U32(inst.state_stride);
+    w.Raw(inst.state.data(), inst.state.size());
+    w.U32(static_cast<uint32_t>(inst.deliverable.size()));
+    for (const SnapshotMessage& msg : inst.deliverable) {
+      w.I32(msg.node);
+      w.I32(msg.port);
+      w.I64(msg.word0);
+      w.I64(msg.word1);
+      w.U8(msg.size);
+    }
+  }
+  const uint64_t file_hash = Fnv1a64(w.bytes().data(), w.bytes().size());
+  out.write(w.bytes().data(), static_cast<std::streamsize>(w.bytes().size()));
+  char footer[8];
+  for (int i = 0; i < 8; ++i) footer[i] = static_cast<char>(file_hash >> (8 * i));
+  out.write(footer, 8);
+  if (!out) throw SnapshotError("snapshot write failed (stream error)");
+}
+
+SnapshotData ReadSnapshot(std::istream& in) {
+  std::string buf(std::istreambuf_iterator<char>(in), {});
+  if (buf.size() < 8) {
+    throw SnapshotError("truncated snapshot: shorter than the integrity footer");
+  }
+  const size_t body = buf.size() - 8;
+  uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<uint64_t>(static_cast<uint8_t>(buf[body + i]))
+              << (8 * i);
+  }
+  const uint64_t actual = Fnv1a64(buf.data(), body);
+  if (stored != actual) {
+    throw SnapshotError(
+        "snapshot integrity hash mismatch (truncated or corrupted file)");
+  }
+
+  ByteReader r(buf.data(), body);
+  SnapshotData snap;
+  const uint64_t magic = r.U64();
+  Check(magic == kSnapshotMagic, "bad magic (not a treelocal snapshot)");
+  snap.version = r.U32();
+  Check(snap.version == kSnapshotVersion,
+        "unsupported version " + std::to_string(snap.version));
+  const uint32_t flags = r.U32();
+  Check((flags & ~kSnapshotFlagDigestMessages) == 0, "unknown flag bits set");
+  snap.digest_messages = (flags & kSnapshotFlagDigestMessages) != 0;
+  const uint32_t kind = r.U32();
+  Check(kind <= static_cast<uint32_t>(SnapshotEngineKind::kReferenceNetwork),
+        "unknown engine kind");
+  snap.engine_kind = static_cast<SnapshotEngineKind>(kind);
+  snap.batch = r.I32();
+  snap.round = r.I32();
+  snap.finished = r.U32() != 0;
+  snap.n = r.I32();
+  snap.m = r.I64();
+  snap.graph_hash = r.U64();
+  snap.ids_hash = r.U64();
+  Check(snap.batch >= 1, "batch must be >= 1");
+  Check(snap.n >= 0 && snap.m >= 0, "negative graph dimensions");
+  // Reject absurd sizes before any resize: the remaining payload bounds
+  // every section, so a corrupted count fails here instead of allocating.
+  // Division form, so a near-INT64_MAX count cannot overflow the product.
+  Check(static_cast<uint64_t>(snap.m) <= r.remaining() / 8,
+        "edge list larger than the remaining payload");
+  snap.edges.resize(static_cast<size_t>(snap.m));
+  for (auto& [u, v] : snap.edges) {
+    u = r.I32();
+    v = r.I32();
+  }
+  Check(static_cast<uint64_t>(snap.n) <= r.remaining() / 8,
+        "id list larger than the remaining payload");
+  snap.ids.resize(static_cast<size_t>(snap.n));
+  for (int64_t& id : snap.ids) id = r.I64();
+  // An instance section is at least 24 bytes even with n == 0 (counters,
+  // stride, and the two length fields), bounding the instance count too.
+  Check(static_cast<uint64_t>(snap.batch) <= r.remaining() / 24,
+        "instance sections larger than the remaining payload");
+  snap.instances.resize(static_cast<size_t>(snap.batch));
+  for (auto& inst : snap.instances) {
+    inst.messages_delivered = r.I64();
+    inst.rounds_completed = r.I32();
+    const uint32_t round_count = r.U32();
+    Check(static_cast<uint64_t>(round_count) * 28 <= r.remaining(),
+          "round records larger than the remaining payload");
+    inst.rounds.resize(round_count);
+    for (SnapshotRound& rec : inst.rounds) {
+      rec.stats.active_nodes = r.I32();
+      rec.stats.messages_sent = r.I64();
+      rec.msg_acc = r.U64();
+      rec.digest = r.U64();
+    }
+    inst.halted.resize(static_cast<size_t>(snap.n));
+    r.Raw(inst.halted.data(), inst.halted.size(), "halt flags");
+    inst.state_stride = r.U32();
+    const uint64_t state_bytes =
+        static_cast<uint64_t>(snap.n) * inst.state_stride;
+    Check(state_bytes <= r.remaining(),
+          "state plane larger than the remaining payload");
+    inst.state.resize(state_bytes);
+    r.Raw(inst.state.data(), inst.state.size(), "state plane");
+    const uint32_t msg_count = r.U32();
+    Check(static_cast<uint64_t>(msg_count) * 25 <= r.remaining(),
+          "deliverable list larger than the remaining payload");
+    inst.deliverable.resize(msg_count);
+    for (SnapshotMessage& msg : inst.deliverable) {
+      msg.node = r.I32();
+      msg.port = r.I32();
+      msg.word0 = r.I64();
+      msg.word1 = r.I64();
+      msg.size = r.U8();
+    }
+  }
+  Check(r.remaining() == 0, "trailing bytes after the last instance section");
+  ValidateData(snap);
+  return snap;
+}
+
+Graph ReconstructGraph(const SnapshotData& snap) {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(snap.edges.size());
+  for (const auto& [u, v] : snap.edges) edges.emplace_back(u, v);
+  Graph g = Graph::FromEdges(snap.n, std::move(edges));
+  const uint64_t h = GraphHash(g);
+  if (h != snap.graph_hash) {
+    throw SnapshotError(
+        "reconstructed graph does not match the stored graph hash");
+  }
+  return g;
+}
+
+namespace internal {
+
+SnapshotData BuildSoloSnapshot(
+    const Graph& g, const std::vector<int64_t>& ids,
+    SnapshotEngineKind engine_kind, bool digest_messages, bool finished,
+    int round, int64_t messages_delivered,
+    const std::vector<RoundStats>& stats, const std::vector<uint64_t>& maccs,
+    const std::vector<uint64_t>& digests, const std::vector<char>& halted,
+    const std::vector<unsigned char>& state, size_t state_stride,
+    const std::vector<int>& order, const std::vector<int>& first,
+    const std::vector<Message>& inbox, int32_t epoch) {
+  const int n = g.NumNodes();
+  SnapshotData snap;
+  snap.engine_kind = engine_kind;
+  snap.digest_messages = digest_messages;
+  snap.finished = finished;
+  snap.batch = 1;
+  snap.round = round;
+  snap.n = n;
+  snap.m = g.NumEdges();
+  snap.graph_hash = GraphHash(g);
+  snap.ids_hash = IdsHash(ids);
+  snap.edges.reserve(static_cast<size_t>(snap.m));
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    snap.edges.emplace_back(g.EdgeU(e), g.EdgeV(e));
+  }
+  snap.ids = ids;
+  snap.instances.resize(1);
+  SnapshotData::Instance& inst = snap.instances[0];
+  inst.messages_delivered = messages_delivered;
+  inst.rounds_completed = finished ? round : 0;
+  inst.rounds.resize(stats.size());
+  for (size_t r = 0; r < stats.size(); ++r) {
+    inst.rounds[r] = {stats[r], maccs[r], digests[r]};
+  }
+  inst.halted = halted;
+  inst.state_stride = static_cast<uint32_t>(state_stride);
+  inst.state.resize(static_cast<size_t>(n) * state_stride);
+  // The engine plane is internal-indexed (slot i belongs to external node
+  // order[i]); the canonical image is external-indexed.
+  for (int i = 0; i < n; ++i) {
+    std::copy(state.begin() + static_cast<size_t>(i) * state_stride,
+              state.begin() + static_cast<size_t>(i + 1) * state_stride,
+              inst.state.begin() +
+                  static_cast<size_t>(order[i]) * state_stride);
+  }
+  // Deliverable messages: inbox slots stamped epoch - 1 (exactly what the
+  // next round's Recv would see). Walking external nodes in order with
+  // ports ascending yields the canonical sort for free. A stamped all-zero
+  // slot is skipped: it is observationally identical to no message (Recv
+  // hands the algorithm the same bytes as kNoMessage), and skipping it
+  // keeps the image canonical across the stamp-less reference engine too.
+  // A finished run records none at all — every node has halted, so the
+  // final round's leftovers are unobservable, and dropping them is what
+  // makes a batch instance that finished early serialize identically to
+  // the solo run (whose engine stopped at its own final round).
+  if (!finished) {
+    for (int v = 0; v < n; ++v) {
+      const int deg = g.Degree(v);
+      for (int p = 0; p < deg; ++p) {
+        const Message& m = inbox[static_cast<size_t>(first[v] + p)];
+        if (m.engine_stamp == epoch - 1 &&
+            (m.size != 0 || m.word0 != 0 || m.word1 != 0)) {
+          inst.deliverable.push_back({v, p, m.word0, m.word1, m.size});
+        }
+      }
+    }
+  }
+  return snap;
+}
+
+void ValidateForEngine(const SnapshotData& snap, const Graph& g,
+                       const std::vector<int64_t>& ids, int batch,
+                       bool digest_messages, const char* engine_name) {
+  const std::string who = std::string(engine_name) + "::Resume: ";
+  if (snap.n != g.NumNodes() || snap.m != g.NumEdges() ||
+      snap.graph_hash != GraphHash(g)) {
+    throw SnapshotError(who +
+                        "snapshot graph hash does not match this engine's "
+                        "graph (different topology)");
+  }
+  if (snap.ids_hash != IdsHash(ids)) {
+    throw SnapshotError(who +
+                        "snapshot id hash does not match this engine's ids");
+  }
+  if (snap.batch != batch) {
+    throw SnapshotError(who + "snapshot has " + std::to_string(snap.batch) +
+                        " instance(s), this engine runs " +
+                        std::to_string(batch));
+  }
+  if (snap.digest_messages != digest_messages) {
+    throw SnapshotError(
+        who +
+        "digest_messages setting differs from the snapshot's — the resumed "
+        "digest chain would diverge from the uninterrupted run");
+  }
+  for (const auto& inst : snap.instances) {
+    for (const SnapshotMessage& msg : inst.deliverable) {
+      if (msg.port >= g.Degree(msg.node)) {
+        throw SnapshotError(who + "deliverable message port " +
+                            std::to_string(msg.port) + " out of range for node " +
+                            std::to_string(msg.node) + " (degree " +
+                            std::to_string(g.Degree(msg.node)) + ")");
+      }
+    }
+  }
+}
+
+void ApplySoloSnapshot(const SnapshotData& snap, const Graph& g,
+                       size_t alg_state_bytes, const std::vector<int>& order,
+                       const std::vector<int>& perm,
+                       const std::vector<int>& first,
+                       std::vector<Message>& inbox, std::vector<char>& halted,
+                       std::vector<int>& active,
+                       std::vector<unsigned char>& state,
+                       size_t& state_stride, std::vector<RoundStats>& stats,
+                       std::vector<uint64_t>& maccs,
+                       std::vector<uint64_t>& digests, uint64_t& digest,
+                       int& round, int64_t& messages_delivered, int32_t epoch) {
+  const SnapshotData::Instance& inst = snap.instances[0];
+  if (inst.state_stride != alg_state_bytes) {
+    throw SnapshotError(
+        "resume state stride mismatch: snapshot has " +
+        std::to_string(inst.state_stride) + " bytes/node, algorithm declares " +
+        std::to_string(alg_state_bytes) +
+        " (resumed with a different Algorithm?)");
+  }
+  if (static_cast<int32_t>(inst.rounds.size()) != snap.round) {
+    throw SnapshotError(
+        "solo snapshot must carry one round record per executed round");
+  }
+  const int n = g.NumNodes();
+  round = snap.round;
+  messages_delivered = inst.messages_delivered;
+  stats.clear();
+  maccs.clear();
+  digests.clear();
+  digest = support::kDigestSeed;
+  for (const SnapshotRound& r : inst.rounds) {
+    stats.push_back(r.stats);
+    maccs.push_back(r.msg_acc);
+    digests.push_back(r.digest);
+    digest = r.digest;
+  }
+  std::copy(inst.halted.begin(), inst.halted.end(), halted.begin());
+  // Worklist invariant: starting from all ranks ascending, the stable
+  // compaction leaves exactly the non-halted ranks in ascending order at
+  // every boundary — so the worklist is derivable from the halt flags.
+  active.clear();
+  for (int i = 0; i < n; ++i) {
+    if (!halted[order[i]]) active.push_back(i);
+  }
+  state_stride = alg_state_bytes;
+  state.assign(static_cast<size_t>(n) * state_stride, 0);
+  for (int v = 0; v < n; ++v) {
+    const int i = perm.empty() ? v : perm[v];
+    std::copy(inst.state.begin() + static_cast<size_t>(v) * state_stride,
+              inst.state.begin() + static_cast<size_t>(v + 1) * state_stride,
+              state.begin() + static_cast<size_t>(i) * state_stride);
+  }
+  for (const SnapshotMessage& msg : inst.deliverable) {
+    Message& slot = inbox[static_cast<size_t>(first[msg.node] + msg.port)];
+    slot.word0 = msg.word0;
+    slot.word1 = msg.word1;
+    slot.size = msg.size;
+    slot.engine_stamp = epoch - 1;
+  }
+}
+
+}  // namespace internal
+
+}  // namespace treelocal::local

@@ -1,0 +1,200 @@
+#ifndef TREELOCAL_LOCAL_SNAPSHOT_H_
+#define TREELOCAL_LOCAL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/local/network.h"
+
+namespace treelocal::local {
+
+// Versioned binary snapshot of an engine run at a round boundary — the
+// wire form of the determinism contract. A snapshot captures everything
+// needed to resume the run in a fresh process-equivalent engine and
+// continue bit-identically: the graph (full edge list, so the standalone
+// verifier needs no original driver), IDs, per-instance halt flags,
+// engine-managed state planes, the messages deliverable in the next round,
+// the full per-round counter history, and the transcript digest chain.
+//
+// The image is CANONICAL: everything is keyed by external node ids and
+// ports, never by engine-internal layout. One engine class serializes to
+// the same bytes for the same run regardless of relabel or thread count,
+// and different engine classes differ ONLY in the informational
+// engine_kind (and batch-width) header fields — the payload sections are
+// byte-identical. That is what lets a checkpoint taken by one engine
+// configuration resume on another, and what makes "final snapshots
+// identical up to the engine tag" the strongest form of the bit-identity
+// gate (the tests normalize the tag and compare everything else).
+//
+// File layout (version 1, little-endian, fixed-width):
+//   magic (8) | version (4) | flags (4) | engine_kind (4) | batch (4) |
+//   round (4) | finished (4) | n (4) | m (8) | graph_hash (8) |
+//   ids_hash (8) | edges (2m * 4) | ids (n * 8) | per-instance sections |
+//   file FNV-1a over all preceding bytes (8)
+// Per-instance section:
+//   messages_delivered (8) | rounds_completed (4) | round_count (4) |
+//   per round: active (4) | sent (8) | msg_acc (8) | digest (8) |
+//   halted (n * 1) | state_stride (4) | state (n * stride) |
+//   deliverable_count (4) | per message: node (4) | port (4) | word0 (8) |
+//   word1 (8) | size (1)
+//
+// ReadSnapshot validates the trailing file hash first (any truncation or
+// bit flip fails cleanly), then parses with bounds checks and validates
+// structural invariants including the digest chain linkage. All failures
+// throw SnapshotError with a descriptive message — never UB.
+
+// Thrown on any snapshot serialization, parse, or validation failure, and
+// by the engines' Checkpoint/Resume on contract violations (mismatched
+// graph hash, wrong state stride, checkpoint of an unpaused engine, ...).
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr uint64_t kSnapshotMagic = 0x315041'4e534c54ull;  // "TLSNAP01"
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+// flags bit 0: the digest chain folds full message contents
+// (NetworkOptions::digest_messages); resume requires a matching setting.
+inline constexpr uint32_t kSnapshotFlagDigestMessages = 1u << 0;
+
+// Informational engine tag (not enforced on resume — the image is
+// canonical, so any engine configuration can pick the run up).
+enum class SnapshotEngineKind : uint32_t {
+  kNetwork = 0,
+  kParallelNetwork = 1,
+  kBatchNetwork = 2,
+  kReferenceNetwork = 3,
+};
+
+// One message deliverable in the round the snapshot pauses before, keyed
+// by the RECEIVER's external (node, port). Sorted by (node, port) in the
+// canonical byte stream. size == 0 entries are legal (an explicitly sent
+// empty message still stamps its channel).
+struct SnapshotMessage {
+  int32_t node = 0;
+  int32_t port = 0;
+  int64_t word0 = 0;
+  int64_t word1 = 0;
+  uint8_t size = 0;
+
+  friend bool operator==(const SnapshotMessage&,
+                         const SnapshotMessage&) = default;
+};
+
+// One round of transcript history: the RoundStats the engines already
+// record, the round's message-content accumulator, and the chained digest
+// (see src/support/digest.h — digest[r] = ChainDigest(digest[r-1],
+// active, sent, msg_acc), seeded with support::kDigestSeed).
+struct SnapshotRound {
+  RoundStats stats;
+  uint64_t msg_acc = 0;
+  uint64_t digest = 0;
+
+  friend bool operator==(const SnapshotRound&, const SnapshotRound&) = default;
+};
+
+// In-memory canonical image. Engines build/apply it; WriteSnapshot /
+// ReadSnapshot move it to and from the versioned byte format.
+struct SnapshotData {
+  uint32_t version = kSnapshotVersion;
+  SnapshotEngineKind engine_kind = SnapshotEngineKind::kNetwork;
+  bool digest_messages = false;
+  bool finished = false;   // all instances halted every node
+  int32_t batch = 1;       // instance count (1 for the solo engines)
+  int32_t round = 0;       // rounds executed so far (resume continues here)
+  int32_t n = 0;
+  int64_t m = 0;
+  uint64_t graph_hash = 0;
+  uint64_t ids_hash = 0;
+  std::vector<std::pair<int32_t, int32_t>> edges;  // full edge list, u < v
+  std::vector<int64_t> ids;
+
+  struct Instance {
+    int64_t messages_delivered = 0;
+    // Batch semantics: the instance's frozen solo round count once it
+    // finished, 0 while live. For solo engines: round when finished.
+    int32_t rounds_completed = 0;
+    std::vector<SnapshotRound> rounds;
+    std::vector<char> halted;             // n entries, external-indexed
+    uint32_t state_stride = 0;
+    std::vector<unsigned char> state;     // n * state_stride bytes
+    std::vector<SnapshotMessage> deliverable;
+
+    friend bool operator==(const Instance&, const Instance&) = default;
+  };
+  std::vector<Instance> instances;  // exactly `batch` entries
+
+  friend bool operator==(const SnapshotData&, const SnapshotData&) = default;
+};
+
+// Canonical hashes binding a snapshot to its inputs: FNV-1a over (n, m,
+// edge endpoints) and over the raw id words.
+uint64_t GraphHash(const Graph& g);
+uint64_t IdsHash(const std::vector<int64_t>& ids);
+
+// Serializes to the versioned byte format, appending the integrity hash.
+void WriteSnapshot(std::ostream& out, const SnapshotData& snap);
+
+// Parses and fully validates a snapshot: integrity hash, magic, version,
+// section sizes, endpoint/port/halt ranges, digest chain linkage. Throws
+// SnapshotError on any defect; a valid return is safe to hand to an
+// engine's Resume or to ReconstructGraph.
+SnapshotData ReadSnapshot(std::istream& in);
+
+// Rebuilds the Graph a snapshot was taken over (validating endpoints via
+// Graph::FromEdges) and checks it against the stored graph_hash. The
+// standalone verifier replays from this — no original driver needed.
+Graph ReconstructGraph(const SnapshotData& snap);
+
+namespace internal {
+
+// Shared canonical gather/apply for the two solo CSR engines (Network and
+// ParallelNetwork have member-identical mailbox/worklist/state layouts).
+// `order` maps internal rank -> external node; `first` is the
+// external-indexed CSR offset table; deliverable messages are the inbox
+// slots stamped epoch - 1.
+SnapshotData BuildSoloSnapshot(
+    const Graph& g, const std::vector<int64_t>& ids,
+    SnapshotEngineKind engine_kind, bool digest_messages, bool finished,
+    int round, int64_t messages_delivered,
+    const std::vector<RoundStats>& stats, const std::vector<uint64_t>& maccs,
+    const std::vector<uint64_t>& digests, const std::vector<char>& halted,
+    const std::vector<unsigned char>& state, size_t state_stride,
+    const std::vector<int>& order, const std::vector<int>& first,
+    const std::vector<Message>& inbox, int32_t epoch);
+
+// Validates a parsed snapshot against the engine about to resume it:
+// graph/ids hashes, batch width, digest-messages flag, and per-message
+// port ranges against the engine's actual degrees. Throws SnapshotError.
+void ValidateForEngine(const SnapshotData& snap, const Graph& g,
+                       const std::vector<int64_t>& ids, int batch,
+                       bool digest_messages, const char* engine_name);
+
+// Restores one solo instance into engine storage: halt flags, worklist
+// (non-halted internal ranks, ascending — the stable-compaction
+// invariant), state plane (external -> internal), counters, digest-chain
+// history, and the deliverable messages stamped `epoch - 1` so the next
+// round's Recv sees exactly them.
+void ApplySoloSnapshot(const SnapshotData& snap, const Graph& g,
+                       size_t alg_state_bytes, const std::vector<int>& order,
+                       const std::vector<int>& perm,
+                       const std::vector<int>& first,
+                       std::vector<Message>& inbox, std::vector<char>& halted,
+                       std::vector<int>& active,
+                       std::vector<unsigned char>& state,
+                       size_t& state_stride, std::vector<RoundStats>& stats,
+                       std::vector<uint64_t>& maccs,
+                       std::vector<uint64_t>& digests, uint64_t& digest,
+                       int& round, int64_t& messages_delivered, int32_t epoch);
+
+}  // namespace internal
+
+}  // namespace treelocal::local
+
+#endif  // TREELOCAL_LOCAL_SNAPSHOT_H_

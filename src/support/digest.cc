@@ -1,0 +1,15 @@
+#include "src/support/digest.h"
+
+namespace treelocal::support {
+
+uint64_t Fnv1a64(const void* data, size_t bytes, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace treelocal::support

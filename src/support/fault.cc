@@ -1,0 +1,55 @@
+#include "src/support/fault.h"
+
+#include <algorithm>
+
+#include "src/support/digest.h"
+
+namespace treelocal::support {
+
+namespace {
+
+std::string Describe(FaultInjectedError::Site site, int round) {
+  std::string msg = "injected fault: ";
+  msg += site == FaultInjectedError::Site::kRoundBoundary
+             ? "killed at the boundary before round "
+             : "thrown from OnRound dispatch during round ";
+  msg += std::to_string(round);
+  return msg;
+}
+
+}  // namespace
+
+FaultInjectedError::FaultInjectedError(Site site, int round)
+    : std::runtime_error(Describe(site, round)), site_(site), round_(round) {}
+
+FaultInjector FaultInjector::FromSeed(uint64_t seed, int round_limit,
+                                      int64_t visit_limit) {
+  // SplitMix64 stream: word 0 picks the site, word 1 the trigger. The
+  // limits are floored at 1 so a degenerate run still yields a valid plan
+  // (which then simply never fires).
+  const uint64_t w0 = Mix64(seed + 0x9e3779b97f4a7c15ull);
+  const uint64_t w1 = Mix64(seed + 2 * 0x9e3779b97f4a7c15ull);
+  if (w0 & 1) {
+    const int r = static_cast<int>(
+        w1 % static_cast<uint64_t>(std::max(round_limit, 1)));
+    return KillAtRoundBoundary(r);
+  }
+  const int64_t nth = static_cast<int64_t>(
+      w1 % static_cast<uint64_t>(std::max<int64_t>(visit_limit, 1)));
+  return ThrowAtVisit(nth + 1);  // 1-based
+}
+
+std::string TruncateBytes(std::string_view bytes, size_t keep) {
+  return std::string(bytes.substr(0, std::min(keep, bytes.size())));
+}
+
+std::string FlipBit(std::string_view bytes, size_t bit_index) {
+  std::string out(bytes);
+  if (!out.empty()) {
+    const size_t byte = (bit_index / 8) % out.size();
+    out[byte] = static_cast<char>(out[byte] ^ (1u << (bit_index % 8)));
+  }
+  return out;
+}
+
+}  // namespace treelocal::support

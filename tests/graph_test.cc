@@ -135,6 +135,41 @@ TEST(GraphTest, RejectsOutOfRange) {
   EXPECT_THROW(Graph::FromEdges(2, {{-1, 0}}), std::invalid_argument);
 }
 
+TEST(GraphTest, RejectsNegativeNodeCount) {
+  EXPECT_THROW(Graph::FromEdges(-1, {}), std::invalid_argument);
+}
+
+// The rejection messages name the offending input — a snapshot with a
+// corrupted edge list surfaces these through ReconstructGraph, so they must
+// identify what is wrong, not just that something is.
+TEST(GraphTest, RejectionMessagesAreDescriptive) {
+  auto message_of = [](auto make) -> std::string {
+    try {
+      make();
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  const std::string self_loop =
+      message_of([] { Graph::FromEdges(4, {{2, 2}}); });
+  EXPECT_NE(self_loop.find("self-loop"), std::string::npos) << self_loop;
+  EXPECT_NE(self_loop.find('2'), std::string::npos) << self_loop;
+
+  const std::string range =
+      message_of([] { Graph::FromEdges(3, {{0, 7}}); });
+  EXPECT_NE(range.find("out of range"), std::string::npos) << range;
+  EXPECT_NE(range.find("(0, 7)"), std::string::npos) << range;
+
+  const std::string dup =
+      message_of([] { Graph::FromEdges(3, {{1, 2}, {2, 1}}); });
+  EXPECT_NE(dup.find("duplicate edge"), std::string::npos) << dup;
+
+  const std::string neg = message_of([] { Graph::FromEdges(-5, {}); });
+  EXPECT_NE(neg.find("negative"), std::string::npos) << neg;
+  EXPECT_NE(neg.find("-5"), std::string::npos) << neg;
+}
+
 TEST(SubgraphTest, InduceByNodesKeepsInternalEdges) {
   // Path 0-1-2-3; induce {1,2}: one edge.
   Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
