@@ -200,16 +200,37 @@ class JsonWriter {
 inline void EmitTrajectory(JsonWriter& json, const std::string& prefix,
                            const std::vector<local::RoundStats>& stats,
                            const std::vector<double>& seconds) {
-  std::vector<int64_t> active, sent;
+  std::vector<int64_t> active, sent, visits, decisions;
   active.reserve(stats.size());
   sent.reserve(stats.size());
+  visits.reserve(stats.size());
+  decisions.reserve(stats.size());
   for (const auto& rs : stats) {
     active.push_back(rs.active_nodes);
     sent.push_back(rs.messages_sent);
+    visits.push_back(rs.visits);
+    decisions.push_back(rs.decisions);
   }
   json.Field(prefix + "_round_active_nodes", active);
   json.Field(prefix + "_round_messages", sent);
+  json.Field(prefix + "_round_visits", visits);
+  json.Field(prefix + "_round_decisions", decisions);
   json.Field(prefix + "_round_seconds", seconds);
+}
+
+// Scalar totals over a run's round stats, for the drivers' per-record
+// visit/decision accounting (tools/check_bench_regression.py bounds the
+// wake scheduler's visit overhead with these: visits should approach
+// decisions + wakes, not the always-visit sum of live counts).
+inline int64_t TotalVisits(const std::vector<local::RoundStats>& stats) {
+  int64_t total = 0;
+  for (const auto& rs : stats) total += rs.visits;
+  return total;
+}
+inline int64_t TotalDecisions(const std::vector<local::RoundStats>& stats) {
+  int64_t total = 0;
+  for (const auto& rs : stats) total += rs.decisions;
+  return total;
 }
 
 }  // namespace treelocal::bench

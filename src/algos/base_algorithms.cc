@@ -82,13 +82,28 @@ class NodeClassSweepAlgorithm : public local::Algorithm {
         semi_.ContainsNode(node) ? (*rank_of_node_)[node] : -1;
   }
 
+  // Wake scheduling: a semi-node acts exactly once, in its class round —
+  // every earlier visit is a pure no-op (no Recv anywhere in this
+  // algorithm: labels travel through the shared labeling; the sends are
+  // the LOCAL-model announcements) — and a non-semi node only needs round
+  // 0 to halt. So the engine should visit each node once: first wake at
+  // the class rank, and a message-woken early riser just re-declares it.
+  bool WakeScheduled() const override { return true; }
+  int InitialWakeRound(int node) const override {
+    if (!semi_.ContainsNode(node)) return 0;  // wake to Halt immediately
+    return static_cast<int>((*rank_of_node_)[node]);
+  }
+
   void OnRound(local::NodeContext& ctx) override {
     NodeSweepState& st = ctx.State<NodeSweepState>();
     if (st.rank < 0) {
       ctx.Halt();
       return;
     }
-    if (st.rank != ctx.round()) return;  // not my class yet
+    if (st.rank != ctx.round()) {  // not my class yet (message-woken early)
+      ctx.SleepUntil(static_cast<int>(st.rank));
+      return;
+    }
     const int v = ctx.node();
     const Graph& host = semi_.host();
     problem_.SequentialAssign(host, v, h_);
@@ -144,17 +159,34 @@ class EdgeClassSweepAlgorithm : public local::Algorithm {
                         : kNoMoreRanks;
   }
 
+  // Wake scheduling: the headline consumer. An owner acts only in its owned
+  // edges' class rounds; every visit in between is a pure no-op (no Recv in
+  // this algorithm — the announce sends feed the LOCAL transcript, not the
+  // control flow), so the waiting walk the owner-coalescing above could
+  // only shorten is now GONE: the engine visits an owner once per owned
+  // class, hopping the calendar from rank to rank. A node owning nothing
+  // wakes once, at round 0, to halt.
+  bool WakeScheduled() const override { return true; }
+  int InitialWakeRound(int node) const override {
+    const int next = (*owned_off_)[node];
+    if (next >= (*owned_off_)[node + 1]) return 0;  // wake to Halt
+    return (*owned_rank_)[next];
+  }
+
   void OnRound(local::NodeContext& ctx) override {
     // Non-decider visits read only the node's own 8-byte state slot (which
-    // the engine streams in worklist order) — the waiting walk between an
-    // owner's class rounds costs no random loads at all; the owned-range
-    // end is consulted only on the (rare) decide path.
+    // the engine streams in worklist order) — under wake scheduling they
+    // happen only after a message wake, and re-sleep to the next owned
+    // rank; the owned-range end is consulted only on the decide path.
     EdgeSweepState& st = ctx.State<EdgeSweepState>();
     if (st.next_rank == kNoMoreRanks) {
       ctx.Halt();
       return;
     }
-    if (st.next_rank != ctx.round()) return;  // not my class yet
+    if (st.next_rank != ctx.round()) {  // not my class yet
+      ctx.SleepUntil(st.next_rank);
+      return;
+    }
     const int e = (*owned_edge_)[st.next];
     problem_.SequentialAssignEdge(host_, e, h_);
     ctx.Send((*owned_port_)[st.next],
@@ -166,6 +198,7 @@ class EdgeClassSweepAlgorithm : public local::Algorithm {
     }
     st.next_rank = (*owned_rank_)[st.next];
     assert(st.next_rank > ctx.round());
+    ctx.SleepUntil(st.next_rank);
   }
 
  private:

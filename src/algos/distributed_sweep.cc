@@ -38,6 +38,19 @@ class NodeSweepAlgorithm : public local::Algorithm {
     static_cast<SweepState*>(state)->color = (*colors_)[node];
   }
 
+  // Wake scheduling: a node acts in exactly two rounds — its class round
+  // (decide + announce) and the shared final round num_colors - 1 (the
+  // staged halt; halting THERE in both modes is what keeps the per-round
+  // active counts, hence transcripts, bit-identical). Every other visit
+  // only drains Recv into the local view, which the message-wake invariant
+  // already covers: a label announcement wakes its sleeping receivers for
+  // precisely the delivery round. colors[v] < num_colors is asserted by
+  // every caller, so the class round never overshoots the final one.
+  bool WakeScheduled() const override { return true; }
+  int InitialWakeRound(int node) const override {
+    return static_cast<int>((*colors_)[node]);
+  }
+
   void OnRound(local::NodeContext& ctx) override {
     const int v = ctx.node();
     const int64_t color = ctx.State<SweepState>().color;
@@ -67,7 +80,11 @@ class NodeSweepAlgorithm : public local::Algorithm {
       // Decided in the final round; one more round lets the messages drain,
       // but nobody is left to read them — halt immediately.
       ctx.Halt();
+      return;
     }
+    // Still alive (message-woken early, or just decided): next scheduled
+    // action is my class round if it is still ahead, else the staged halt.
+    ctx.SleepUntil(static_cast<int>(t < color ? color : num_colors_ - 1));
   }
 
  private:

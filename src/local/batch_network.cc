@@ -70,6 +70,7 @@ BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
   }
   digest_messages_ = options.digest_messages;
   fault_ = options.fault;
+  wake_opt_ = options.wake_scheduling;
   const int n = graph.NumNodes();
   const size_t slots =
       2 * static_cast<size_t>(graph.NumEdges()) * static_cast<size_t>(batch);
@@ -114,6 +115,9 @@ BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
   sent_before_.assign(batch, 0);
   macc_before_.assign(batch, 0);
   round_live_.assign(batch, 0);
+  live_at_start_.assign(batch, 0);
+  round_decisions_.assign(batch, 0);
+  wakes_.assign(batch, 0);
   round_msg_acc_.resize(batch);
   round_digests_.resize(batch);
   digest_.assign(batch, support::kDigestSeed);
@@ -147,9 +151,16 @@ std::vector<int> BatchNetwork::RunUntil(const std::vector<Algorithm*>& algs,
     }
   }
 
+  // A batch run is scheduled iff the engine option is on and EVERY
+  // instance's algorithm opts in; a mixed batch falls back to the legacy
+  // always-visit pass, which is transcript-identical by construction.
+  bool scheduled = wake_opt_;
+  for (const Algorithm* alg : algs) scheduled = scheduled && alg->WakeScheduled();
+
   if (pending_resume_ != nullptr) {
     const std::unique_ptr<SnapshotData> snap = std::move(pending_resume_);
     ApplySnapshot(*snap, stride);
+    std::fill(wakes_.begin(), wakes_.end(), 0);
   } else if (!mid_run_) {
     state_stride_ = stride;
     state_plane_bytes_ = stride * static_cast<size_t>(n);
@@ -199,12 +210,63 @@ std::vector<int> BatchNetwork::RunUntil(const std::vector<Algorithm*>& algs,
     std::fill(live_nodes_.begin(), live_nodes_.end(), n);
     active_.resize(n);
     std::iota(active_.begin(), active_.end(), 0);
+    std::fill(wakes_.begin(), wakes_.end(), 0);
+    if (scheduled) {
+      // Per-(node, instance) initial wake rounds, clamped like the solo
+      // engines (<= 0 means round 0; anything at or past kNoWakeRound
+      // parks the pair until a message arrives).
+      wake_.assign(static_cast<size_t>(n) * B, 0);
+      for (int b = 0; b < B; ++b) {
+        for (int v = 0; v < n; ++v) {
+          const int w = algs[b]->InitialWakeRound(v);
+          wake_[static_cast<size_t>(v) * B + b] =
+              w <= 0 ? 0 : (w >= kNoWakeRound ? kNoWakeRound : w);
+        }
+      }
+    }
   }
   // else: continuing a paused run (same algorithm objects) — all per-run
-  // state is live exactly as the pause left it.
+  // state is live exactly as the pause left it (wake_ included).
   mid_run_ = false;
   finished_ = false;
   support::FaultInjector* const fault = fault_;
+
+  if (scheduled) {
+    if (chan_owner_.empty()) {
+      // recv channel -> receiver node (identity layout: the batch engine is
+      // always external-indexed).
+      chan_owner_.assign(static_cast<size_t>(2) * graph_->NumEdges(), 0);
+      for (int v = 0; v < n; ++v) {
+        for (int c = first_[v]; c < first_[v + 1]; ++c) chan_owner_[c] = v;
+      }
+    }
+    // (Re)build every shard's calendar wholesale from the wake plane under
+    // THIS call's max_rounds — uniform across fresh runs, resumes, and
+    // paused continuations (whose previous calendars may have been built
+    // under a different bound, or partially drained before an exception).
+    // Entries at or past max_rounds stay parked: if the pair never wakes
+    // earlier, the run throws at max_rounds first.
+    for (Shard& sh : shards_) {
+      sh.calendar.clear();
+      for (int b = sh.b_lo; b < sh.b_hi; ++b) {
+        for (int v = 0; v < n; ++v) {
+          const auto code = static_cast<int64_t>(v) * B + b;
+          if (halted_[static_cast<size_t>(code)]) continue;
+          int32_t w = wake_[static_cast<size_t>(code)];
+          if (w < round_) w = round_;  // resumed plane: awake at the boundary
+          wake_[static_cast<size_t>(code)] = w;
+          if (w >= max_rounds) continue;
+          if (static_cast<size_t>(w) >= sh.calendar.size()) {
+            sh.calendar.resize(static_cast<size_t>(w) + 1);
+          }
+          sh.calendar[static_cast<size_t>(w)].push_back(code);
+        }
+      }
+    }
+  } else {
+    for (Shard& sh : shards_) sh.calendar.clear();
+  }
+  scheduled_ = scheduled;
 
   // One context per shard: same engine, but each carries its shard's own
   // dirty-channel bookkeeping.
@@ -225,24 +287,79 @@ std::vector<int> BatchNetwork::RunUntil(const std::vector<Algorithm*>& algs,
     Shard& sh = shards_[t];
     NodeContext& ctx = ctxs[t];
     ctx.round_ = round_;
-    constexpr int kChunk = 512;
-    for (int lo = 0; lo < active_now; lo += kChunk) {
-      const int hi = std::min(lo + kChunk, active_now);
-      for (int b : sh.live) {
+    // Calendar push for this shard (sleeps and message wakes), bounded by
+    // max_rounds as in the rebuild above.
+    const auto push_cal = [&sh, max_rounds](int w, int64_t code) {
+      if (w >= max_rounds) return;
+      if (static_cast<size_t>(w) >= sh.calendar.size()) {
+        sh.calendar.resize(static_cast<size_t>(w) + 1);
+      }
+      sh.calendar[static_cast<size_t>(w)].push_back(code);
+    };
+    if (scheduled) {
+      // Wake-bucket pass: drain this shard's bucket for the round instead
+      // of walking the shared worklist. Entries are (node, instance) codes;
+      // an entry is live iff the pair is unhalted and its wake round still
+      // equals this round (every visit and every message wake moves the
+      // wake round past it, so stale duplicates self-invalidate — the
+      // serial Network's lazy stale-skip, shard-locally). The cache-blocked
+      // streaming of the dense pass is deliberately given up here: a
+      // scheduled round's visit set is sparse by design.
+      std::vector<int64_t> bucket;
+      if (static_cast<size_t>(round_) < sh.calendar.size()) {
+        bucket.swap(sh.calendar[static_cast<size_t>(round_)]);
+      }
+      for (const int64_t code : bucket) {
+        const int v = static_cast<int>(code / B);
+        const int b = static_cast<int>(code % B);
+        if (halted_[static_cast<size_t>(code)] ||
+            wake_[static_cast<size_t>(code)] != round_) {
+          continue;
+        }
         ctx.instance_ = b;
-        // This instance's state plane: within the (chunk, instance) slice
-        // the slots below stream in ascending node order, right next to
-        // the instance's staging plane.
-        unsigned char* const state_plane =
-            state_.data() + state_plane_bytes_ * b;
-        for (int i = lo; i < hi; ++i) {
-          const int v = active_[i];
-          if (halted_[static_cast<size_t>(v) * B + b]) continue;
-          ctx.node_ = v;
-          ctx.state_ = state_plane + static_cast<size_t>(v) * state_stride_;
-          if (fault != nullptr) fault->OnVisit(round_);
-          algs[b]->OnRound(ctx);
-          ++round_active_[b];
+        ctx.node_ = v;
+        ctx.state_ = state_.data() + state_plane_bytes_ * b +
+                     static_cast<size_t>(v) * state_stride_;
+        ctx.sleep_until_ = round_ + 1;
+        if (fault != nullptr) fault->OnVisit(round_);
+        const int64_t sb = messages_delivered_[b];
+        algs[b]->OnRound(ctx);
+        ++round_active_[b];
+        if (halted_[static_cast<size_t>(code)]) {
+          ++round_decisions_[b];  // halting is a decision; Halt wins over
+          continue;               // any sleep the visit also declared
+        }
+        round_decisions_[b] += messages_delivered_[b] != sb ? 1 : 0;
+        const int32_t s = ctx.sleep_until_;
+        const int32_t w =
+            s <= round_ ? round_ + 1 : (s >= kNoWakeRound ? kNoWakeRound : s);
+        wake_[static_cast<size_t>(code)] = w;
+        push_cal(w, code);
+      }
+    } else {
+      constexpr int kChunk = 512;
+      for (int lo = 0; lo < active_now; lo += kChunk) {
+        const int hi = std::min(lo + kChunk, active_now);
+        for (int b : sh.live) {
+          ctx.instance_ = b;
+          // This instance's state plane: within the (chunk, instance) slice
+          // the slots below stream in ascending node order, right next to
+          // the instance's staging plane.
+          unsigned char* const state_plane =
+              state_.data() + state_plane_bytes_ * b;
+          for (int i = lo; i < hi; ++i) {
+            const int v = active_[i];
+            const auto idx = static_cast<size_t>(v) * B + b;
+            if (halted_[idx]) continue;
+            ctx.node_ = v;
+            ctx.state_ = state_plane + static_cast<size_t>(v) * state_stride_;
+            if (fault != nullptr) fault->OnVisit(round_);
+            const int64_t sb = messages_delivered_[b];
+            algs[b]->OnRound(ctx);
+            ++round_active_[b];
+            round_decisions_[b] +=
+                (messages_delivered_[b] != sb || halted_[idx]) ? 1 : 0;
+          }
         }
       }
     }
@@ -295,6 +412,32 @@ std::vector<int> BatchNetwork::RunUntil(const std::vector<Algorithm*>& algs,
         for (int b : sh.live) {
           inbox_[dest * stride + b] = stage_[plane_ * b + chan];
         }
+        if (scheduled) {
+          // Message-wake check, folded into the scatter because it sees
+          // the FINAL staged values (the node pass is over, so last-write-
+          // wins has resolved — no post-hoc verification scan needed, unlike
+          // the CSR engines): an observable message stamped this round
+          // pulls its sleeping receiver pair to the next round's bucket.
+          // Messages never cross instances and this shard owns instance b,
+          // so all wake_ writes stay shard-local. Halt wins (a pair that
+          // halted this round is never woken), and a pair already due next
+          // round needs nothing.
+          const int recv = chan_owner_[dest];
+          for (int b : sh.live) {
+            const Message& m = stage_[plane_ * b + chan];
+            if (m.engine_stamp != epoch_ ||
+                (m.size == 0 && m.word0 == 0 && m.word1 == 0)) {
+              continue;
+            }
+            const auto code = static_cast<int64_t>(recv) * B + b;
+            if (!halted_[static_cast<size_t>(code)] &&
+                wake_[static_cast<size_t>(code)] > round_ + 1) {
+              wake_[static_cast<size_t>(code)] = round_ + 1;
+              ++wakes_[b];
+              push_cal(round_ + 1, code);
+            }
+          }
+        }
       }
       sh.dirty.clear();
     }
@@ -336,6 +479,8 @@ std::vector<int> BatchNetwork::RunUntil(const std::vector<Algorithm*>& algs,
     }
     for (int b = 0; b < B; ++b) {
       round_active_[b] = 0;
+      round_decisions_[b] = 0;
+      live_at_start_[b] = live_nodes_[b];
       sent_before_[b] = messages_delivered_[b];
       macc_before_[b] = msg_acc_[b];
     }
@@ -379,14 +524,19 @@ std::vector<int> BatchNetwork::RunUntil(const std::vector<Algorithm*>& algs,
     }
     active_.resize(kept);
     for (int b = 0; b < B; ++b) {
-      if (round_active_[b] == 0) continue;  // instance finished earlier
+      // Record gate and active_nodes are the live count at round start —
+      // which is exactly what the legacy pass's ran-this-round count was,
+      // and stays meaningful under scheduling where a live instance's
+      // visit count can be anything down to zero (rounds always tick).
+      if (live_at_start_[b] == 0) continue;  // instance finished earlier
       const int64_t sent_delta = messages_delivered_[b] - sent_before_[b];
       // Unsigned subtraction: the accumulator is cumulative mod 2^64, so
       // the watermark delta is exactly this round's hash sum.
       const uint64_t macc_delta = msg_acc_[b] - macc_before_[b];
-      round_stats_[b].push_back({round_active_[b], sent_delta});
+      round_stats_[b].push_back({live_at_start_[b], sent_delta,
+                                 round_active_[b], round_decisions_[b]});
       round_msg_acc_[b].push_back(macc_delta);
-      digest_[b] = support::ChainDigest(digest_[b], round_active_[b],
+      digest_[b] = support::ChainDigest(digest_[b], live_at_start_[b],
                                         sent_delta, macc_delta);
       round_digests_[b].push_back(digest_[b]);
       // Instance b halted its last node this round: its solo run would have
@@ -438,6 +588,16 @@ void BatchNetwork::Checkpoint(std::ostream& out) const {
     inst.halted.resize(static_cast<size_t>(n));
     for (int v = 0; v < n; ++v) {
       inst.halted[v] = halted_[static_cast<size_t>(v) * B + b];
+    }
+    // Canonical wake plane, as in BuildSoloSnapshot: halted -> 0; every
+    // live pair of an unscheduled run is awake at the boundary; a
+    // scheduled run records the pair's wake round.
+    inst.wake.resize(static_cast<size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      const auto idx = static_cast<size_t>(v) * B + b;
+      inst.wake[v] = halted_[idx] ? 0
+                     : (!scheduled_ || wake_.empty()) ? round_
+                                                      : wake_[idx];
     }
     inst.state_stride = static_cast<uint32_t>(state_stride_);
     inst.state.assign(
@@ -555,6 +715,18 @@ void BatchNetwork::ApplySnapshot(const SnapshotData& snap, size_t stride) {
       slot.word1 = msg.word1;
       slot.size = msg.size;
       slot.engine_stamp = epoch_ - 1;
+    }
+  }
+  // Restore the wake plane unconditionally (cheap next to the mailboxes);
+  // whether the resuming run honors it is RunUntil's scheduled flag — an
+  // unscheduled resume just ignores it, a scheduled resume of an
+  // unscheduled snapshot re-engages sleeps from "everyone awake".
+  wake_.assign(static_cast<size_t>(n) * B, 0);
+  for (int b = 0; b < B; ++b) {
+    const std::vector<int32_t>& wk =
+        snap.instances[static_cast<size_t>(b)].wake;
+    for (int v = 0; v < n; ++v) {
+      wake_[static_cast<size_t>(v) * B + b] = wk[static_cast<size_t>(v)];
     }
   }
   // Worklist invariant as in the solo engines: stable compaction from iota

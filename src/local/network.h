@@ -39,15 +39,37 @@ struct Message {
 };
 static_assert(sizeof(Message) == 24, "mailbox slots must stay 24 bytes");
 
-// Per-round engine counters, recorded by both engines and consumed by the
-// benchmark drivers: the per-round simulation cost must track active_nodes
+// Per-round engine counters, recorded by every engine and consumed by the
+// benchmark drivers: the per-round simulation cost must track the live set
 // (not n) once most nodes have halted.
 struct RoundStats {
-  int active_nodes = 0;       // nodes whose OnRound ran this round
+  int active_nodes = 0;       // live (non-halted) nodes at round start
   int64_t messages_sent = 0;  // present messages queued (delivered next round)
+  // Engine-observability counters, NOT part of transcript equality below:
+  // visits counts OnRound dispatches this round — equal to active_nodes on
+  // the always-visit path, only the woken subset under wake scheduling — and
+  // decisions counts visits that acted (net-queued at least one present
+  // message, or halted). Both are deterministic across engines, relabel, and thread
+  // counts for a fixed scheduling mode; the idle-visit ratio
+  // (visits - decisions) / visits is what the wake scheduler eliminates.
+  int64_t visits = 0;
+  int64_t decisions = 0;
 
-  friend bool operator==(const RoundStats&, const RoundStats&) = default;
+  // Transcript equality compares what the LOCAL execution did (live-set
+  // size, messages), not how the engine drove it: a scheduled and an
+  // unscheduled run of the same algorithm produce EQUAL per-round stats
+  // here even though their visit counts differ. The digest chain commits
+  // to exactly these two fields (plus message content accumulators).
+  friend bool operator==(const RoundStats& a, const RoundStats& b) {
+    return a.active_nodes == b.active_nodes &&
+           a.messages_sent == b.messages_sent;
+  }
 };
+
+// Sentinel for NodeContext::SleepUntil / Algorithm::InitialWakeRound: park
+// the node with no scheduled wake round at all — it runs again only when a
+// message wakes it (or never, if none arrives and the run hits max_rounds).
+inline constexpr int32_t kNoWakeRound = INT32_MAX;
 
 // Construction-time engine options (Network and ParallelNetwork).
 struct NetworkOptions {
@@ -83,6 +105,17 @@ struct NetworkOptions {
   // structured FaultInjectedError and the engine stays reusable (the next
   // Run re-initializes all per-run state).
   support::FaultInjector* fault = nullptr;
+
+  // Honor the algorithm's wake-round schedule (Algorithm::WakeScheduled,
+  // NodeContext::SleepUntil): the engine keeps the worklist bucketed by wake
+  // round and visits a node only in rounds where it declared it acts, waking
+  // it early whenever a message arrives. On by default — a run is scheduled
+  // iff this is set AND the algorithm opts in — and transcripts (outputs,
+  // RoundStats equality, message counts, digest chains) are bit-identical
+  // to the always-visit path by construction; only RoundStats::visits
+  // shrinks. Set to false to force the legacy always-visit worklist (the
+  // scheduler ablation the benches and CI gate on).
+  bool wake_scheduling = true;
 };
 
 // Thrown by every engine's Run when max_rounds is reached with live nodes.
@@ -148,6 +181,14 @@ std::vector<int> WorklistOrder(int n, const std::vector<int>& perm);
 // ParallelNetwork, and ReferenceNetwork (where inv is always null).
 void ArmStatePlane(Algorithm& alg, int n, const int* inv,
                    std::vector<unsigned char>& plane, size_t& stride);
+
+// Inverts the CSR channel tables for the message-wake path: owner[c] is the
+// INTERNAL RANK of the node whose recv-channel block contains channel c
+// (i.e. the receiver of any Send that stores to c). order maps rank ->
+// external id, as in WorklistOrder.
+std::vector<int> BuildChanOwner(const Graph& graph,
+                                const std::vector<int>& first,
+                                const std::vector<int>& order);
 }  // namespace internal
 
 // Per-node view handed to Algorithm::OnRound. In the LOCAL model (Definition
@@ -195,6 +236,20 @@ class NodeContext {
   // Mark this node as terminated; OnRound is no longer called for it and its
   // outgoing channels fall silent (stale epoch stamps, never re-cleared).
   inline void Halt();
+
+  // Declare that this node next acts in round `round` (absolute, i.e. the
+  // value a future ctx.round() will show): under wake scheduling the engine
+  // skips it until then. The invariant that makes this transcript-invariant:
+  // an incoming observable message ALWAYS wakes a sleeping node for the next
+  // round, so a node can never miss input it would have seen on the
+  // always-visit path — an algorithm may sleep whenever its early-round
+  // OnRound would have been a pure no-op (no sends, no halt, no state
+  // change) absent new messages. Values <= round() mean "next round" (the
+  // default when OnRound returns without calling this); kNoWakeRound parks
+  // the node until a message arrives; Halt() wins over any sleep. Without
+  // wake scheduling (engine option off, or Algorithm::WakeScheduled false)
+  // this is a no-op, which is exactly why transcripts cannot diverge.
+  void SleepUntil(int round) { sleep_until_ = round; }
 
   // Typed reference to this node's engine-managed state slot (see
   // Algorithm::StateBytes). Zero-cost on every engine: the engine aims the
@@ -245,6 +300,20 @@ class NodeContext {
   // so instance-sharded rounds never contend on a shared dirty vector.
   int32_t* batch_dirty_stamp_ = nullptr;
   std::vector<int>* batch_dirty_ = nullptr;
+
+  // Wake-scheduling hooks. sleep_until_ is the engine<->algorithm mailbox
+  // for SleepUntil: the engine pre-sets it to round+1 before each OnRound
+  // and reads it back after. The notify trio is the CSR engines' message-
+  // wake recorder, non-null only in scheduled runs (one null check is the
+  // whole hot-path cost when off): an observable Send marks its receiver's
+  // internal rank once per round (epoch-stamped dedup; the stamp is atomic
+  // so ParallelNetwork shards dedup across threads with a relaxed exchange,
+  // which costs nothing extra on the serial engine) into this shard's own
+  // notified list. Sleeping receivers are woken at the round barrier.
+  int32_t sleep_until_ = 0;
+  const int* chan_owner_ = nullptr;  // recv channel -> receiver internal rank
+  std::atomic<int32_t>* notify_stamp_ = nullptr;
+  std::vector<int>* notified_ = nullptr;
 
   // This node's slot in the engine's state plane, re-aimed by the engine
   // before every OnRound call (null when StateBytes() == 0). The engine
@@ -302,6 +371,25 @@ class Algorithm {
   virtual void InitState(int node, void* state) {
     (void)node;
     (void)state;
+  }
+
+  // Opt into wake-round scheduling (see NodeContext::SleepUntil). An
+  // algorithm returning true promises that every OnRound it would skip by
+  // sleeping is a pure no-op absent new messages — the message-wake
+  // invariant then makes transcripts bit-identical to the always-visit
+  // engines by construction. Must be constant over the algorithm's
+  // lifetime. Dense algorithms (every live node acts every round) may
+  // return true and never sleep; scheduling is then an exact no-op.
+  virtual bool WakeScheduled() const { return false; }
+
+  // First round in which `node` acts (absolute; 0 = round 0, the default
+  // and the always-visit behavior; kNoWakeRound = parked until a message
+  // arrives). Only consulted when the run is scheduled. Like InitState, it
+  // must depend only on (node, captured construction inputs). Negative
+  // returns are clamped to 0.
+  virtual int InitialWakeRound(int node) const {
+    (void)node;
+    return 0;
   }
 };
 
@@ -419,6 +507,16 @@ class Network {
   // Per-round counters for the last Run; round_stats()[r] covers round r.
   const std::vector<RoundStats>& round_stats() const { return round_stats_; }
 
+  // True iff the last (or in-progress) Run honored the algorithm's wake
+  // schedule (options.wake_scheduling AND Algorithm::WakeScheduled).
+  bool wake_scheduled() const { return scheduled_; }
+  // Message-triggered wakes over the last Run (a sleeping node pulled to
+  // the next round's bucket by an observable incoming message). 0 on
+  // unscheduled runs. With total visits/decisions from round_stats(), this
+  // closes the scheduler's accounting: every visit is an initial wake, a
+  // calendar wake, or one of these.
+  int64_t wakes() const { return wakes_; }
+
   // Opt-in wall-clock timing of each round (two clock reads per round; off
   // by default so the hot loop stays branch-only). Consumed by the engine
   // benches to show per-round cost tracks active_nodes, not n.
@@ -462,7 +560,37 @@ class Network {
                              // order; rank i's state slot and external id
                              // (order_[i]) ride along in rank order, so the
                              // state plane streams sequentially even under
-                             // relabel — the whole point of internal indexing
+                             // relabel — the whole point of internal indexing.
+                             // Under wake scheduling it holds only the
+                             // CURRENT ROUND's wake bucket instead.
+  // Wake-scheduling state (armed lazily on the first scheduled run; the
+  // legacy always-visit path never touches any of it). wake_round_[i] is
+  // rank i's next scheduled round (kNoWakeRound = parked); calendar_[r]
+  // holds ranks waking in future round r — entries go stale when a message
+  // wake or an earlier visit moves the node's wake round, and the drain
+  // skips any entry with wake_round_ != r (a visit always moves the wake
+  // round past r, so duplicates self-invalidate; no dedup stamps needed).
+  // notify_stamp_/notified_/chan_owner_ implement the Send-side message-
+  // wake recording described at NodeContext.
+  std::vector<int32_t> wake_round_;
+  std::vector<std::vector<int>> calendar_;
+  std::vector<int> chan_owner_;
+  std::unique_ptr<std::atomic<int32_t>[]> notify_stamp_;
+  std::vector<int> notified_;
+  // The Send-side recording costs two extra random cache lines per
+  // observable send (chan_owner_ + notify_stamp_), which dense scheduled
+  // algorithms — every live node acting every round, nobody ever parked —
+  // would pay for nothing. The hook is therefore armed only once some node
+  // is actually parked past the next round; the round that parks the
+  // first nodes with the hook still off resolves their wakes by scanning
+  // just those nodes' inboxes at the barrier (parked_now_), then arms.
+  // Once armed it stays armed for the rest of the run: exactness matters
+  // only for the never-parks case, which this makes entirely free.
+  bool notify_armed_ = false;
+  std::vector<int> parked_now_;  // parked this round while disarmed
+  int live_count_ = 0;     // non-halted nodes (scheduled runs' termination)
+  int64_t wakes_ = 0;      // message wakes, last Run
+  bool scheduled_ = false; // last Run honored the wake schedule
   // Engine-owned per-node state plane (Algorithm::StateBytes per slot),
   // indexed by internal rank; re-armed (zero + InitState) every Run,
   // reallocated only when the slot size changes.
@@ -478,6 +606,7 @@ class Network {
   uint64_t digest_ = support::kDigestSeed;
   uint64_t msg_acc_ = 0;  // current round's content accumulator
   bool digest_messages_ = false;
+  bool wake_opt_ = true;  // NetworkOptions::wake_scheduling
   support::FaultInjector* fault_ = nullptr;
   // Pause/resume state machine: mid_run_ marks a run paused at a round
   // boundary (mailboxes/state live, same-algorithm continuation only);
@@ -624,6 +753,11 @@ class BatchNetwork {
     return round_stats_[instance];
   }
 
+  // Wake-scheduling observability, mirroring Network::wake_scheduled() /
+  // wakes() per instance.
+  bool wake_scheduled() const { return scheduled_; }
+  int64_t wakes(int instance) const { return wakes_[instance]; }
+
   // Per-instance transcript digest chains; instance b's chain is
   // bit-identical to the solo Network chain for algs[b].
   const std::vector<uint64_t>& round_digests(int instance) const {
@@ -662,6 +796,14 @@ class BatchNetwork {
     std::vector<int32_t> dirty_stamp;   // per channel: epoch of last write
     std::vector<int> dirty;             // channels written this round
     std::vector<int> live;              // scratch: live instances in range
+    // Wake calendar over (node * batch + instance) codes, indexed by
+    // absolute round. Fully shard-private: messages never cross instances
+    // and shards own contiguous instance ranges, so sleeps land in the
+    // visiting shard's calendar and message wakes are detected during the
+    // shard's OWN scatter (a staged slot stamped this epoch and observable
+    // wakes its receiver pair) — no cross-shard communication at all. Same
+    // lazy stale-skip as Network::calendar_.
+    std::vector<std::vector<int64_t>> calendar;
   };
 
   const Graph* graph_;
@@ -711,7 +853,23 @@ class BatchNetwork {
   bool mid_run_ = false;
   bool finished_ = false;
   std::unique_ptr<SnapshotData> pending_resume_;
-  std::vector<int> round_active_;     // scratch: per-instance ran-this-round
+  // Wake-scheduling state (see Network and Shard::calendar): per-pair wake
+  // rounds, the channel->receiver table the scatter's wake check uses
+  // (external-indexed, like everything batch), and per-instance wake
+  // counters. Armed lazily on the first scheduled run.
+  std::vector<int32_t> wake_;             // (node, instance): v * batch_ + b
+  std::vector<int> chan_owner_;           // recv channel -> receiver node
+  std::vector<int64_t> wakes_;            // per instance, last Run
+  std::vector<int> live_at_start_;        // scratch: per-instance live count
+  std::vector<int64_t> round_decisions_;  // scratch: per-instance decisions
+  bool scheduled_ = false;
+  bool wake_opt_ = true;  // NetworkOptions::wake_scheduling
+  // A batch run is scheduled iff the option is on AND every instance's
+  // algorithm opts in (a mixed batch falls back to always-visit, which is
+  // always transcript-correct).
+  std::vector<int> round_active_;     // scratch: per-instance visits (on the
+                                      // legacy path: ran-this-round count ==
+                                      // live_at_start_)
   std::vector<int64_t> sent_before_;  // scratch: per-instance sent watermark
   std::vector<uint64_t> macc_before_;  // scratch: content-acc watermark
   std::vector<char> round_live_;      // scratch: live-at-round-start flags
@@ -768,6 +926,24 @@ inline void NodeContext::Send(int port, Message m) {
     *sent_ += m.present();
     if (macc_ != nullptr && m.present()) {
       *macc_ += support::MessageHash(node_, port, m.word0, m.word1, m.size);
+    }
+    if (notify_stamp_ != nullptr &&
+        (m.size != 0 || m.word0 != 0 || m.word1 != 0)) {
+      // Scheduled run: record the receiver as a wake candidate, once per
+      // round (epoch-stamped dedup; the relaxed exchange makes concurrent
+      // shards agree on a single recorder). The observability predicate
+      // matches Recv's view and the snapshot layer's deliverable set — a
+      // message a sleeping receiver could not distinguish from silence must
+      // not wake it, or visit counts would diverge across engines. Whether
+      // the candidate is actually asleep (and whether an observable message
+      // still sits in its inbox after later overwrites) is resolved at the
+      // round barrier.
+      const int r = chan_owner_[c];
+      if (notify_stamp_[r].load(std::memory_order_relaxed) != stamp &&
+          notify_stamp_[r].exchange(stamp, std::memory_order_relaxed) !=
+              stamp) {
+        notified_->push_back(r);
+      }
     }
     return;
   }

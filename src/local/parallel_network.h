@@ -78,6 +78,12 @@ class ParallelNetwork {
   int64_t messages_delivered() const { return messages_delivered_; }
   const std::vector<RoundStats>& round_stats() const { return round_stats_; }
 
+  // Wake-scheduling observability, as in Network: whether the last Run
+  // honored the algorithm's schedule, and its message-wake count (both
+  // deterministic for every thread count).
+  bool wake_scheduled() const { return scheduled_; }
+  int64_t wakes() const { return wakes_; }
+
   // Transcript digest chain, bit-identical to Network's for every thread
   // count (the content accumulator sums per-shard, and sums commute).
   const std::vector<uint64_t>& round_digests() const { return round_digests_; }
@@ -117,6 +123,18 @@ class ParallelNetwork {
     int64_t sent = 0;
     uint64_t macc = 0;
     int kept = 0;
+    // Wake-scheduling per-round scratch, all touched only by this shard's
+    // lane during the round and read serially at the barrier: visit and
+    // decision counters (summed into RoundStats — sums commute, so the
+    // totals are thread-count independent), the halts this round (reduced
+    // into the live count), the ranks that slept past the next round
+    // (distributed into the shared calendar at the barrier), and the wake
+    // candidates this shard's sends recorded (NodeContext::notified_).
+    int64_t visits = 0;
+    int64_t decisions = 0;
+    int halts = 0;
+    std::vector<int> slept;
+    std::vector<int> notified;
   };
 
   const Graph* graph_;
@@ -127,7 +145,37 @@ class ParallelNetwork {
   std::vector<int> perm_;       // external id -> internal rank (empty = id.)
   std::vector<Message> inbox_, outbox_;
   std::vector<char> halted_;
-  std::vector<int> active_;     // worklist of internal ranks (see Network)
+  std::vector<int> active_;     // worklist of internal ranks (see Network);
+                                // the current round's wake bucket when
+                                // scheduled — entries are UNIQUE here (the
+                                // barrier dedups with bucket_stamp_), so
+                                // concurrent shards never visit one node
+                                // twice or race on its wake round
+  // Wake-scheduling state, mirroring Network's. wake_round_ needs no
+  // atomics: during a round each rank is written only by the shard visiting
+  // it (bucket entries are unique) and all cross-rank reads happen serially
+  // at the barrier. bucket_stamp_[i] == r marks rank i already placed in
+  // round r's bucket — the parallel engine's replacement for the serial
+  // drain's duplicate self-invalidation, applied while ASSEMBLING the
+  // bucket instead (duplicates inside a shared bucket would let two shards
+  // visit the same node concurrently).
+  std::vector<int32_t> wake_round_;
+  std::vector<int32_t> bucket_stamp_;
+  std::vector<std::vector<int>> calendar_;
+  std::vector<int> chan_owner_;
+  std::unique_ptr<std::atomic<int32_t>[]> notify_stamp_;
+  // Send-hook arming, mirroring Network: recording wake candidates costs
+  // two extra random cache lines per observable send, so the hook stays
+  // off until some node is parked past the next round (dense scheduled
+  // runs never pay). The round that parks the first nodes resolves their
+  // wakes by scanning the shards' slept lists at the barrier, then arms.
+  // Written only at Run setup and in the serial barrier; shards read it
+  // through their per-round context views, synchronized by the pool fork.
+  bool notify_armed_ = false;
+  int live_count_ = 0;
+  int64_t wakes_ = 0;
+  bool scheduled_ = false;
+  bool wake_opt_ = true;
   std::vector<unsigned char> state_;  // internal-indexed state plane
   size_t state_stride_ = 0;
   std::vector<Shard> shards_;

@@ -33,7 +33,8 @@ ReferenceNetwork::ReferenceNetwork(const Graph& graph, std::vector<int64_t> ids,
     : graph_(&graph),
       ids_(std::move(ids)),
       digest_messages_(options.digest_messages),
-      fault_(options.fault) {
+      fault_(options.fault),
+      wake_opt_(options.wake_scheduling) {
   assert(static_cast<int>(ids_.size()) == graph.NumNodes());
   const size_t channels = 2 * static_cast<size_t>(graph.NumEdges());
   inbox_.assign(channels, Message{});
@@ -65,7 +66,10 @@ void ReferenceNetwork::SendAt(int node, int port, Message m) {
   const Graph& g = *graph_;
   int e = g.IncidentEdges(node)[port];
   int my_slot = g.EndpointSlot(e, node);
-  outbox_[Channel(e, my_slot)] = m;
+  Message& slot = outbox_[Channel(e, my_slot)];
+  visit_sent_delta_ +=
+      static_cast<int>(m.present()) - static_cast<int>(slot.present());
+  slot = m;
 }
 
 void ReferenceNetwork::HaltAt(int node) {
@@ -82,6 +86,8 @@ int ReferenceNetwork::Run(Algorithm& alg, int max_rounds) {
 int ReferenceNetwork::RunUntil(Algorithm& alg, int max_rounds,
                                int pause_at_round) {
   const int n = graph_->NumNodes();
+  const bool scheduled = wake_opt_ && alg.WakeScheduled();
+  if (scheduled && wake_round_.empty()) wake_round_.assign(n, 0);
   if (pending_resume_ != nullptr) {
     const std::unique_ptr<SnapshotData> snap = std::move(pending_resume_);
     const SnapshotData::Instance& inst = snap->instances[0];
@@ -124,6 +130,17 @@ int ReferenceNetwork::RunUntil(Algorithm& alg, int max_rounds,
       inbox_[Channel(e, sender_slot)] =
           Message{msg.word0, msg.word1, msg.size};
     }
+    wakes_ = 0;
+    if (scheduled) {
+      // The snapshot's wake plane is external-indexed — exactly this
+      // engine's layout (an unscheduled-run snapshot records every live
+      // node awake at the boundary).
+      for (int v = 0; v < n; ++v) {
+        int32_t w = halted_[v] || inst.wake.empty() ? round_ : inst.wake[v];
+        if (w < round_) w = round_;
+        wake_round_[v] = w;
+      }
+    }
   } else if (!mid_run_) {
     round_ = 0;
     num_halted_ = 0;
@@ -135,11 +152,21 @@ int ReferenceNetwork::RunUntil(Algorithm& alg, int max_rounds,
     std::fill(halted_.begin(), halted_.end(), 0);
     std::fill(inbox_.begin(), inbox_.end(), Message{});
     std::fill(outbox_.begin(), outbox_.end(), Message{});
+    wakes_ = 0;
+    if (scheduled) {
+      for (int v = 0; v < n; ++v) {
+        const int w = alg.InitialWakeRound(v);
+        wake_round_[v] = w <= 0 ? 0 : (w >= kNoWakeRound ? kNoWakeRound : w);
+      }
+    }
     internal::ArmStatePlane(alg, n, nullptr, state_, state_stride_);
   }
-  // else: continuing a paused run — everything is live as the pause left it.
+  // else: continuing a paused run — everything is live as the pause left it
+  // (including the wake rounds; the naive engine keeps no calendar, so
+  // there is nothing to rebuild).
   mid_run_ = false;
   finished_ = false;
+  scheduled_ = scheduled;
   support::FaultInjector* const fault = fault_;
 
   NodeContext ctx(graph_, ids_.data(), nullptr, this);
@@ -155,12 +182,23 @@ int ReferenceNetwork::RunUntil(Algorithm& alg, int max_rounds,
     }
     ctx.round_ = round_;
     const int active_now = n - num_halted_;
+    int64_t visits = 0;
+    int64_t decisions = 0;
     for (int v = 0; v < n; ++v) {
       if (halted_[v]) continue;
+      if (scheduled && wake_round_[v] != round_) continue;
       ctx.node_ = v;
       ctx.state_ = state_.data() + static_cast<size_t>(v) * state_stride_;
+      ctx.sleep_until_ = round_ + 1;
       if (fault != nullptr) fault->OnVisit(round_);
+      visit_sent_delta_ = 0;
       alg.OnRound(ctx);
+      ++visits;
+      decisions += (visit_sent_delta_ != 0 || halted_[v]) ? 1 : 0;
+      if (scheduled && !halted_[v]) {
+        wake_round_[v] =
+            ctx.sleep_until_ <= round_ ? round_ + 1 : ctx.sleep_until_;
+      }
     }
     // Deliver: what was sent this round is readable next round.
     std::swap(inbox_, outbox_);
@@ -178,9 +216,21 @@ int ReferenceNetwork::RunUntil(Algorithm& alg, int max_rounds,
                                        m.word0, m.word1, m.size);
         }
       }
+      if (scheduled && (m.size != 0 || m.word0 != 0 || m.word1 != 0)) {
+        // Message-wake invariant, spelled out: the receiver of channel
+        // Channel(e, s) is the sender of Channel(e, 1-s), i.e. the other
+        // endpoint. Any observable delivery pulls a sleeping receiver to
+        // the next round.
+        const int recv = chan_sender_[c ^ size_t{1}];
+        if (!halted_[recv] && wake_round_[recv] > round_ + 1) {
+          wake_round_[recv] = round_ + 1;
+          ++wakes_;
+        }
+      }
     }
     messages_delivered_ += sent;
-    round_stats_.push_back({active_now, sent});
+    round_stats_.push_back(
+        {active_now, sent, scheduled ? visits : active_now, decisions});
     round_msg_acc_.push_back(macc);
     digest_ = support::ChainDigest(digest_, active_now, sent, macc);
     round_digests_.push_back(digest_);
@@ -223,6 +273,14 @@ void ReferenceNetwork::Checkpoint(std::ostream& out) const {
   inst.halted = halted_;
   inst.state_stride = static_cast<uint32_t>(state_stride_);
   inst.state = state_;  // external-indexed already
+  // Canonical per-node wake rounds (halted -> 0, unscheduled live ->
+  // "awake at the boundary"), as in BuildSoloSnapshot.
+  inst.wake.resize(n);
+  for (int v = 0; v < n; ++v) {
+    inst.wake[v] = halted_[v] ? 0
+                   : (!scheduled_ || wake_round_.empty()) ? round_
+                                                          : wake_round_[v];
+  }
   // The naive engine has no epoch stamps; a boundary inbox holds exactly
   // last round's sends (everything else was cleared), so any non-zero slot
   // is deliverable — the same canonical set the stamped engines record.

@@ -47,6 +47,14 @@ class ReferenceNetwork {
   int64_t messages_delivered() const { return messages_delivered_; }
   const std::vector<RoundStats>& round_stats() const { return round_stats_; }
 
+  // Wake-scheduling observability, as in Network. The reference
+  // implementation is the semantics spelled out: a plain per-node wake
+  // round, a full O(n) scan that visits exactly the nodes whose wake round
+  // equals this round, and a post-swap O(2m) inbox scan that wakes the
+  // receiver of every observable message — no calendar, no notify lists.
+  bool wake_scheduled() const { return scheduled_; }
+  int64_t wakes() const { return wakes_; }
+
   // Transcript digest chain, bit-identical to every optimized engine's.
   const std::vector<uint64_t>& round_digests() const { return round_digests_; }
   const std::vector<uint64_t>& round_message_accs() const {
@@ -91,6 +99,17 @@ class ReferenceNetwork {
   uint64_t digest_ = support::kDigestSeed;
   bool digest_messages_ = false;
   support::FaultInjector* fault_ = nullptr;
+  // Wake scheduling (see the accessors above): external-indexed wake
+  // rounds, and the per-visit net-present-send delta SendAt maintains so
+  // the decision counter matches the optimized engines' counter-delta
+  // predicate exactly (outbox_ is cleared each round, so the pre-overwrite
+  // present() flag reflects only this round's earlier writes — the same
+  // set the CSR engines' epoch check isolates).
+  std::vector<int32_t> wake_round_;
+  int64_t visit_sent_delta_ = 0;
+  int64_t wakes_ = 0;
+  bool scheduled_ = false;
+  bool wake_opt_ = true;
   bool mid_run_ = false;
   bool finished_ = false;
   std::unique_ptr<SnapshotData> pending_resume_;

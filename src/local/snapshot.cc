@@ -106,10 +106,9 @@ void Check(bool ok, const std::string& msg) {
 // WriteSnapshot (engine-built images — cheap insurance against engine
 // bugs): sizes, ranges, ordering, and the digest chain linkage.
 void ValidateData(const SnapshotData& snap) {
-  Check(snap.version == kSnapshotVersion,
-        "unsupported version " + std::to_string(snap.version) +
-            " (this build reads version " + std::to_string(kSnapshotVersion) +
-            ")");
+  if (snap.version != kSnapshotVersion) {
+    throw SnapshotVersionError(snap.version, kSnapshotVersion);
+  }
   Check(snap.batch >= 1, "batch must be >= 1");
   Check(snap.n >= 0, "negative node count");
   Check(snap.m >= 0, "negative edge count");
@@ -134,6 +133,8 @@ void ValidateData(const SnapshotData& snap) {
     for (const SnapshotRound& r : inst.rounds) {
       Check(r.stats.active_nodes >= 0, "negative active-node count");
       Check(r.stats.messages_sent >= 0, "negative message count");
+      Check(r.stats.visits >= 0, "negative visit count");
+      Check(r.stats.decisions >= 0, "negative decision count");
       digest = ChainDigest(digest, r.stats.active_nodes,
                            r.stats.messages_sent, r.msg_acc);
       Check(r.digest == digest, "digest chain broken at round record");
@@ -144,6 +145,17 @@ void ValidateData(const SnapshotData& snap) {
     for (char h : inst.halted) {
       Check(h == 0 || h == 1, "halt flag not 0/1");
       halted_count += h;
+    }
+    Check(static_cast<int32_t>(inst.wake.size()) == snap.n,
+          "wake section size disagrees with n");
+    for (int32_t v = 0; v < snap.n; ++v) {
+      if (inst.halted[static_cast<size_t>(v)] != 0) {
+        Check(inst.wake[static_cast<size_t>(v)] == 0,
+              "halted node records a nonzero wake round");
+      } else {
+        Check(inst.wake[static_cast<size_t>(v)] >= snap.round,
+              "live node's wake round precedes the snapshot round");
+      }
     }
     if (snap.finished) {
       Check(halted_count == snap.n, "finished snapshot with live nodes");
@@ -220,10 +232,13 @@ void WriteSnapshot(std::ostream& out, const SnapshotData& snap) {
     for (const SnapshotRound& r : inst.rounds) {
       w.I32(r.stats.active_nodes);
       w.I64(r.stats.messages_sent);
+      w.I64(r.stats.visits);
+      w.I64(r.stats.decisions);
       w.U64(r.msg_acc);
       w.U64(r.digest);
     }
     w.Raw(inst.halted.data(), inst.halted.size());
+    for (int32_t wk : inst.wake) w.I32(wk);
     w.U32(inst.state_stride);
     w.Raw(inst.state.data(), inst.state.size());
     w.U32(static_cast<uint32_t>(inst.deliverable.size()));
@@ -265,8 +280,9 @@ SnapshotData ReadSnapshot(std::istream& in) {
   const uint64_t magic = r.U64();
   Check(magic == kSnapshotMagic, "bad magic (not a treelocal snapshot)");
   snap.version = r.U32();
-  Check(snap.version == kSnapshotVersion,
-        "unsupported version " + std::to_string(snap.version));
+  if (snap.version != kSnapshotVersion) {
+    throw SnapshotVersionError(snap.version, kSnapshotVersion);
+  }
   const uint32_t flags = r.U32();
   Check((flags & ~kSnapshotFlagDigestMessages) == 0, "unknown flag bits set");
   snap.digest_messages = (flags & kSnapshotFlagDigestMessages) != 0;
@@ -306,17 +322,23 @@ SnapshotData ReadSnapshot(std::istream& in) {
     inst.messages_delivered = r.I64();
     inst.rounds_completed = r.I32();
     const uint32_t round_count = r.U32();
-    Check(static_cast<uint64_t>(round_count) * 28 <= r.remaining(),
+    Check(static_cast<uint64_t>(round_count) * 44 <= r.remaining(),
           "round records larger than the remaining payload");
     inst.rounds.resize(round_count);
     for (SnapshotRound& rec : inst.rounds) {
       rec.stats.active_nodes = r.I32();
       rec.stats.messages_sent = r.I64();
+      rec.stats.visits = r.I64();
+      rec.stats.decisions = r.I64();
       rec.msg_acc = r.U64();
       rec.digest = r.U64();
     }
     inst.halted.resize(static_cast<size_t>(snap.n));
     r.Raw(inst.halted.data(), inst.halted.size(), "halt flags");
+    Check(static_cast<uint64_t>(snap.n) * 4 <= r.remaining(),
+          "wake section larger than the remaining payload");
+    inst.wake.resize(static_cast<size_t>(snap.n));
+    for (int32_t& wk : inst.wake) wk = r.I32();
     inst.state_stride = r.U32();
     const uint64_t state_bytes =
         static_cast<uint64_t>(snap.n) * inst.state_stride;
@@ -364,7 +386,8 @@ SnapshotData BuildSoloSnapshot(
     const std::vector<uint64_t>& digests, const std::vector<char>& halted,
     const std::vector<unsigned char>& state, size_t state_stride,
     const std::vector<int>& order, const std::vector<int>& first,
-    const std::vector<Message>& inbox, int32_t epoch) {
+    const std::vector<Message>& inbox, int32_t epoch, bool scheduled,
+    const int32_t* wake_by_rank) {
   const int n = g.NumNodes();
   SnapshotData snap;
   snap.engine_kind = engine_kind;
@@ -390,6 +413,16 @@ SnapshotData BuildSoloSnapshot(
     inst.rounds[r] = {stats[r], maccs[r], digests[r]};
   }
   inst.halted = halted;
+  // Canonical wake plane: halted -> 0; without scheduling every live node
+  // is by definition awake at the boundary (wake == round); with it,
+  // unzip the engine's internal-indexed wake rounds through `order`.
+  inst.wake.assign(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const int v = order[i];
+    if (halted[static_cast<size_t>(v)] != 0) continue;
+    inst.wake[static_cast<size_t>(v)] =
+        (scheduled && wake_by_rank != nullptr) ? wake_by_rank[i] : round;
+  }
   inst.state_stride = static_cast<uint32_t>(state_stride);
   inst.state.resize(static_cast<size_t>(n) * state_stride);
   // The engine plane is internal-indexed (slot i belongs to external node

@@ -31,17 +31,32 @@ namespace treelocal::local {
 // identical up to the engine tag" the strongest form of the bit-identity
 // gate (the tests normalize the tag and compare everything else).
 //
-// File layout (version 1, little-endian, fixed-width):
+// File layout (version 2, little-endian, fixed-width):
 //   magic (8) | version (4) | flags (4) | engine_kind (4) | batch (4) |
 //   round (4) | finished (4) | n (4) | m (8) | graph_hash (8) |
 //   ids_hash (8) | edges (2m * 4) | ids (n * 8) | per-instance sections |
 //   file FNV-1a over all preceding bytes (8)
 // Per-instance section:
 //   messages_delivered (8) | rounds_completed (4) | round_count (4) |
-//   per round: active (4) | sent (8) | msg_acc (8) | digest (8) |
-//   halted (n * 1) | state_stride (4) | state (n * stride) |
+//   per round: active (4) | sent (8) | visits (8) | decisions (8) |
+//   msg_acc (8) | digest (8) |
+//   halted (n * 1) | wake (n * 4) | state_stride (4) | state (n * stride) |
 //   deliverable_count (4) | per message: node (4) | port (4) | word0 (8) |
 //   word1 (8) | size (1)
+//
+// Version history: v1 had no wake section and 28-byte round records
+// (active | sent | msg_acc | digest). v2 adds the per-node wake plane and
+// the visits/decisions observability counters. This build reads only its
+// own version — older or newer payloads throw SnapshotVersionError naming
+// both versions, never a silent misparse.
+//
+// The wake plane is canonical like everything else: external-indexed,
+// halted nodes record 0, live nodes of an unscheduled run record
+// snap.round ("awake at the boundary"), and live nodes of a scheduled run
+// record their wake round W >= snap.round (kNoWakeRound = parked until a
+// message arrives). An unscheduled resume ignores the plane; a scheduled
+// resume rebuilds its calendar from it — so scheduling configuration, like
+// engine class, is a resume-side choice, not a snapshot property.
 //
 // ReadSnapshot validates the trailing file hash first (any truncation or
 // bit flip fails cleanly), then parses with bounds checks and validates
@@ -57,7 +72,26 @@ class SnapshotError : public std::runtime_error {
 };
 
 inline constexpr uint64_t kSnapshotMagic = 0x315041'4e534c54ull;  // "TLSNAP01"
-inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotVersion = 2;
+
+// Thrown when a payload carries a version this build does not read —
+// whether an old v1 file or a future format. Structured so callers can
+// tell "wrong version" apart from corruption and report both numbers.
+class SnapshotVersionError : public SnapshotError {
+ public:
+  SnapshotVersionError(uint32_t found, uint32_t expected)
+      : SnapshotError("unsupported snapshot version " + std::to_string(found) +
+                      " (this build reads version " + std::to_string(expected) +
+                      " only)"),
+        found_(found),
+        expected_(expected) {}
+  uint32_t found() const { return found_; }
+  uint32_t expected() const { return expected_; }
+
+ private:
+  uint32_t found_;
+  uint32_t expected_;
+};
 
 // flags bit 0: the digest chain folds full message contents
 // (NetworkOptions::digest_messages); resume requires a matching setting.
@@ -122,6 +156,11 @@ struct SnapshotData {
     int32_t rounds_completed = 0;
     std::vector<SnapshotRound> rounds;
     std::vector<char> halted;             // n entries, external-indexed
+    // Canonical per-node wake rounds (n entries, external-indexed): 0 for
+    // halted nodes, snap.round for live nodes of an unscheduled run, the
+    // node's wake round W >= snap.round (or kNoWakeRound for parked) when
+    // the run was wake-scheduled. See the layout comment above.
+    std::vector<int32_t> wake;
     uint32_t state_stride = 0;
     std::vector<unsigned char> state;     // n * state_stride bytes
     std::vector<SnapshotMessage> deliverable;
@@ -158,7 +197,10 @@ namespace internal {
 // ParallelNetwork have member-identical mailbox/worklist/state layouts).
 // `order` maps internal rank -> external node; `first` is the
 // external-indexed CSR offset table; deliverable messages are the inbox
-// slots stamped epoch - 1.
+// slots stamped epoch - 1. `wake_by_rank` is the engine's internal-indexed
+// wake plane (nullptr when the engine never armed it); it is consulted
+// only when `scheduled`, and the gather canonicalizes (halted -> 0,
+// unscheduled live -> round).
 SnapshotData BuildSoloSnapshot(
     const Graph& g, const std::vector<int64_t>& ids,
     SnapshotEngineKind engine_kind, bool digest_messages, bool finished,
@@ -167,7 +209,8 @@ SnapshotData BuildSoloSnapshot(
     const std::vector<uint64_t>& digests, const std::vector<char>& halted,
     const std::vector<unsigned char>& state, size_t state_stride,
     const std::vector<int>& order, const std::vector<int>& first,
-    const std::vector<Message>& inbox, int32_t epoch);
+    const std::vector<Message>& inbox, int32_t epoch, bool scheduled,
+    const int32_t* wake_by_rank);
 
 // Validates a parsed snapshot against the engine about to resume it:
 // graph/ids hashes, batch width, digest-messages flag, and per-message

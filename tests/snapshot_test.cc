@@ -35,9 +35,11 @@ using local::ParallelNetwork;
 using local::ReadSnapshot;
 using local::ReconstructGraph;
 using local::ReferenceNetwork;
+using local::kSnapshotVersion;
 using local::SnapshotData;
 using local::SnapshotEngineKind;
 using local::SnapshotError;
+using local::SnapshotVersionError;
 using local::WriteSnapshot;
 
 constexpr int kMaxRounds = 1000;
@@ -508,6 +510,17 @@ TEST(SnapshotTest, WriteRejectsTamperedData) {
     bad.instances[0].state.pop_back();
     expect_rejected(bad, "state plane size mismatch");
   }
+  {  // The writer-side version check is the same structured error.
+    SnapshotData bad = good;
+    bad.version = kSnapshotVersion + 1;
+    std::ostringstream out;
+    EXPECT_THROW(WriteSnapshot(out, bad), SnapshotVersionError);
+  }
+  {
+    SnapshotData bad = good;
+    bad.instances[0].wake[3] = -1;  // below the snapshot round
+    expect_rejected(bad, "wake round before the snapshot round");
+  }
 }
 
 // Every byte-prefix truncation of a valid snapshot must fail with a clean
@@ -569,6 +582,45 @@ TEST(SnapshotTest, PatchedFooterMutationsNeverEscapeCleanErrors) {
   }
   EXPECT_GT(rejected, 0);
   EXPECT_EQ(parsed + rejected, static_cast<int>(payload));
+}
+
+// Satellite: version hardening. A payload whose version field names an
+// older or future format (footer re-hashed, so integrity passes) must be
+// rejected with the structured SnapshotVersionError naming both the found
+// and the supported version — not a generic parse failure halfway through
+// a layout that silently changed shape between versions.
+TEST(SnapshotTest, VersionMismatchIsAStructuredError) {
+  const Graph g = BalancedRegularTree(12, 3);
+  const auto ids = DefaultIds(12, 3);
+  const std::string bytes = RecordMidRun(g, ids, 2);
+  const size_t payload = bytes.size() - 8;
+  // Version is the u32 after the 8-byte magic.
+  const auto with_version = [&](uint32_t ver) {
+    std::string mutated = bytes;
+    for (int i = 0; i < 4; ++i) {
+      mutated[8 + i] = static_cast<char>(ver >> (8 * i));
+    }
+    const uint64_t h = support::Fnv1a64(mutated.data(), payload);
+    for (int i = 0; i < 8; ++i) {
+      mutated[payload + i] = static_cast<char>(h >> (8 * i));
+    }
+    return mutated;
+  };
+  for (const uint32_t ver : {uint32_t{1}, kSnapshotVersion + 1}) {
+    std::istringstream in(with_version(ver));
+    try {
+      ReadSnapshot(in);
+      FAIL() << "version " << ver << " parsed";
+    } catch (const SnapshotVersionError& e) {
+      EXPECT_EQ(e.found(), ver);
+      EXPECT_EQ(e.expected(), kSnapshotVersion);
+      const std::string what = e.what();
+      EXPECT_NE(what.find(std::to_string(ver)), std::string::npos);
+      EXPECT_NE(what.find(std::to_string(kSnapshotVersion)),
+                std::string::npos);
+    }
+  }
+  EXPECT_NO_THROW(ParseBytes(with_version(kSnapshotVersion)));
 }
 
 }  // namespace
