@@ -63,11 +63,6 @@ BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
   if (batch < 1) {
     throw std::invalid_argument("BatchNetwork batch must be >= 1");
   }
-  if (options.relabel) {
-    throw std::invalid_argument(
-        "BatchNetwork does not support NetworkOptions::relabel (the batch "
-        "layouts are external-indexed)");
-  }
   digest_messages_ = options.digest_messages;
   fault_ = options.fault;
   wake_opt_ = options.wake_scheduling;
@@ -75,7 +70,17 @@ BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
   const size_t slots =
       2 * static_cast<size_t>(graph.NumEdges()) * static_cast<size_t>(batch);
 
-  internal::BuildChannelTables(graph, nullptr, first_, send_chan_);
+  // Same relabel scheme as Network: the channel clusters (and, per run, the
+  // state planes) are laid out by BFS rank while first_ and every halt/wake
+  // plane stay external-indexed, so the NodeContext hot paths are identical
+  // either way and only the physical layout + within-round iteration order
+  // change — neither observable in the LOCAL model.
+  std::vector<int> perm;
+  if (options.relabel) perm = internal::BfsOrder(graph);
+  internal::BuildChannelTables(graph, perm.empty() ? nullptr : perm.data(),
+                               first_, send_chan_);
+  order_ = internal::WorklistOrder(n, perm);
+  perm_ = std::move(perm);
 
   // Reserve first and advise hugepages before the fill faults the pages in
   // (the hint only helps pages faulted after it).
@@ -173,10 +178,12 @@ std::vector<int> BatchNetwork::RunUntil(const std::vector<Algorithm*>& algs,
     }
     state_.assign(state_total, 0);
     if (stride > 0) {
+      // Rank-indexed planes (slot i belongs to external node order_[i]), so
+      // the dense pass streams state in worklist order under relabel too.
       for (int b = 0; b < B; ++b) {
         unsigned char* plane = state_.data() + state_plane_bytes_ * b;
-        for (int v = 0; v < n; ++v) {
-          algs[b]->InitState(v, plane + static_cast<size_t>(v) * stride);
+        for (int i = 0; i < n; ++i) {
+          algs[b]->InitState(order_[i], plane + static_cast<size_t>(i) * stride);
         }
       }
     }
@@ -208,7 +215,7 @@ std::vector<int> BatchNetwork::RunUntil(const std::vector<Algorithm*>& algs,
       node_live_[v].store(B, std::memory_order_relaxed);
     }
     std::fill(live_nodes_.begin(), live_nodes_.end(), n);
-    active_.resize(n);
+    active_.resize(n);  // internal ranks 0..n-1 (== external ids sans relabel)
     std::iota(active_.begin(), active_.end(), 0);
     std::fill(wakes_.begin(), wakes_.end(), 0);
     if (scheduled) {
@@ -233,11 +240,15 @@ std::vector<int> BatchNetwork::RunUntil(const std::vector<Algorithm*>& algs,
 
   if (scheduled) {
     if (chan_owner_.empty()) {
-      // recv channel -> receiver node (identity layout: the batch engine is
-      // always external-indexed).
+      // recv channel -> receiver EXTERNAL node (the wake/halt planes are
+      // external-indexed; under relabel first_[v] already points into the
+      // BFS-laid channel space, so this covers every channel either way).
       chan_owner_.assign(static_cast<size_t>(2) * graph_->NumEdges(), 0);
       for (int v = 0; v < n; ++v) {
-        for (int c = first_[v]; c < first_[v + 1]; ++c) chan_owner_[c] = v;
+        const int lo = first_[v];
+        const int hi = lo + graph_->Degree(v);  // not first_[v + 1]: see
+                                                // BuildChanOwner on relabel
+        for (int c = lo; c < hi; ++c) chan_owner_[c] = v;
       }
     }
     // (Re)build every shard's calendar wholesale from the wake plane under
@@ -318,8 +329,13 @@ std::vector<int> BatchNetwork::RunUntil(const std::vector<Algorithm*>& algs,
         }
         ctx.instance_ = b;
         ctx.node_ = v;
+        // State planes are rank-indexed; codes stay external (the sparse
+        // scheduled path gave up streaming anyway, so one perm lookup per
+        // visit is the whole relabel cost here).
+        const auto slot =
+            static_cast<size_t>(perm_.empty() ? v : perm_[v]);
         ctx.state_ = state_.data() + state_plane_bytes_ * b +
-                     static_cast<size_t>(v) * state_stride_;
+                     slot * state_stride_;
         ctx.sleep_until_ = round_ + 1;
         if (fault != nullptr) fault->OnVisit(round_);
         const int64_t sb = messages_delivered_[b];
@@ -348,11 +364,15 @@ std::vector<int> BatchNetwork::RunUntil(const std::vector<Algorithm*>& algs,
           unsigned char* const state_plane =
               state_.data() + state_plane_bytes_ * b;
           for (int i = lo; i < hi; ++i) {
-            const int v = active_[i];
+            // The worklist holds internal ranks: state streams at the rank
+            // stride while the halt/mailbox planes stay external — under
+            // identity (no relabel) r == v and this is the old loop.
+            const int r = active_[i];
+            const int v = order_[r];
             const auto idx = static_cast<size_t>(v) * B + b;
             if (halted_[idx]) continue;
             ctx.node_ = v;
-            ctx.state_ = state_plane + static_cast<size_t>(v) * state_stride_;
+            ctx.state_ = state_plane + static_cast<size_t>(r) * state_stride_;
             if (fault != nullptr) fault->OnVisit(round_);
             const int64_t sb = messages_delivered_[b];
             algs[b]->OnRound(ctx);
@@ -518,9 +538,10 @@ std::vector<int> BatchNetwork::RunUntil(const std::vector<Algorithm*>& algs,
     // Compact the worklist after every instance has visited every node.
     size_t kept = 0;
     for (int i = 0; i < active_now; ++i) {
-      const int v = active_[i];
-      active_[kept] = v;
-      kept += node_live_[v].load(std::memory_order_relaxed) > 0 ? 1 : 0;
+      const int r = active_[i];
+      active_[kept] = r;
+      kept +=
+          node_live_[order_[r]].load(std::memory_order_relaxed) > 0 ? 1 : 0;
     }
     active_.resize(kept);
     for (int b = 0; b < B; ++b) {
@@ -600,9 +621,23 @@ void BatchNetwork::Checkpoint(std::ostream& out) const {
                                                       : wake_[idx];
     }
     inst.state_stride = static_cast<uint32_t>(state_stride_);
-    inst.state.assign(
-        state_.begin() + static_cast<ptrdiff_t>(state_plane_bytes_ * b),
-        state_.begin() + static_cast<ptrdiff_t>(state_plane_bytes_ * (b + 1)));
+    // The snapshot's state section is canonically external-indexed; the
+    // engine's plane is rank-indexed, so under relabel it is gathered slot
+    // by slot (identity keeps the straight plane copy).
+    const auto* plane = state_.data() + state_plane_bytes_ * b;
+    if (perm_.empty()) {
+      inst.state.assign(plane, plane + state_plane_bytes_);
+    } else {
+      inst.state.resize(state_plane_bytes_);
+      for (int v = 0; v < n; ++v) {
+        const auto* src =
+            plane + static_cast<size_t>(perm_[v]) * state_stride_;
+        std::copy(src, src + state_stride_,
+                  inst.state.begin() +
+                      static_cast<ptrdiff_t>(static_cast<size_t>(v) *
+                                             state_stride_));
+      }
+    }
     // Deliverables: instance b's inbox slots stamped epoch - 1, walked in
     // external (node, port) order — the canonical sort for free. Stamped
     // all-zero slots are skipped, and a fully-halted instance records
@@ -706,8 +741,21 @@ void BatchNetwork::ApplySnapshot(const SnapshotData& snap, size_t stride) {
       digest_[b] = r.digest;
     }
     msg_acc_[b] = 0;
-    std::copy(inst.state.begin(), inst.state.end(),
-              state_.begin() + static_cast<ptrdiff_t>(state_plane_bytes_ * b));
+    // Inverse of the Checkpoint gather: external-indexed snapshot state
+    // scattered into the rank-indexed plane.
+    if (perm_.empty()) {
+      std::copy(
+          inst.state.begin(), inst.state.end(),
+          state_.begin() + static_cast<ptrdiff_t>(state_plane_bytes_ * b));
+    } else {
+      unsigned char* plane = state_.data() + state_plane_bytes_ * b;
+      for (int v = 0; v < n; ++v) {
+        const auto off = static_cast<size_t>(v) * stride;
+        std::copy(inst.state.begin() + static_cast<ptrdiff_t>(off),
+                  inst.state.begin() + static_cast<ptrdiff_t>(off + stride),
+                  plane + static_cast<size_t>(perm_[v]) * stride);
+      }
+    }
     for (const SnapshotMessage& msg : inst.deliverable) {
       Message& slot =
           inbox_[static_cast<size_t>(first_[msg.node] + msg.port) * B + b];
@@ -730,11 +778,11 @@ void BatchNetwork::ApplySnapshot(const SnapshotData& snap, size_t stride) {
     }
   }
   // Worklist invariant as in the solo engines: stable compaction from iota
-  // leaves the nodes live in >= 1 instance in ascending order.
+  // leaves the live ranks in ascending (engine) order.
   active_.clear();
-  for (int v = 0; v < n; ++v) {
-    if (node_live_[v].load(std::memory_order_relaxed) > 0) {
-      active_.push_back(v);
+  for (int i = 0; i < n; ++i) {
+    if (node_live_[order_[i]].load(std::memory_order_relaxed) > 0) {
+      active_.push_back(i);
     }
   }
 }

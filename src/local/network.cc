@@ -110,7 +110,10 @@ std::vector<int> BuildChanOwner(const Graph& graph,
   for (int i = 0; i < n; ++i) {
     const int v = order[i];
     const int lo = first[v];
-    const int hi = first[v + 1];
+    // NOT first[v + 1]: under relabel first[] is external-indexed into the
+    // rank-ordered channel space, so v's block ends at first[v] + deg(v)
+    // while first[v + 1] is wherever external node v+1's block landed.
+    const int hi = lo + graph.Degree(v);
     for (int c = lo; c < hi; ++c) owner[c] = i;
   }
   return owner;
@@ -351,7 +354,8 @@ int Network::RunUntil(Algorithm& alg, int max_rounds, int pause_at_round) {
       const int v = order_[i];
       if (halted_[v] || wake_round_[i] <= round_ + 1) return;
       const int lo = first_[v];
-      const int hi = first_[v + 1];
+      const int hi = lo + graph_->Degree(v);  // not first_[v + 1]: see
+                                              // BuildChanOwner on relabel
       bool observable = false;
       for (int c = lo; c < hi && !observable; ++c) {
         const Message& msg = inbox_[c];

@@ -701,8 +701,12 @@ class BatchNetwork {
   // lanes (>= 1; capped at `batch` — slices are whole instances).
   BatchNetwork(const Graph& graph, std::vector<int64_t> ids, int batch,
                int num_threads);
-  // Options form: honors digest_messages and fault; relabel is rejected
-  // (std::invalid_argument) — the batch layouts are external-indexed.
+  // Options form: honors every NetworkOptions field. Under relabel the
+  // channel clusters and state planes are laid out in BFS order (the round
+  // pass walks internal ranks, so the scatter's random cluster writes and
+  // each instance's state stream stay BFS-local) while halt flags, wake
+  // rounds, and every API surface stay in the caller's external numbering —
+  // transcripts are bit-identical either way, as for Network.
   BatchNetwork(const Graph& graph, std::vector<int64_t> ids, int batch,
                int num_threads, const NetworkOptions& options);
 
@@ -768,12 +772,15 @@ class BatchNetwork {
   }
   uint64_t last_digest(int instance) const { return digest_[instance]; }
 
-  // Post-run read-back of instance `instance`'s state slot for node v.
+  // Post-run read-back of instance `instance`'s state slot for external
+  // node v (the external->internal translation happens here, off the hot
+  // path, exactly as in Network::StateAt).
   template <typename T>
   const T& StateAt(int instance, int v) const {
+    const auto i = static_cast<size_t>(perm_.empty() ? v : perm_[v]);
     return *reinterpret_cast<const T*>(state_.data() +
                                        state_plane_bytes_ * instance +
-                                       static_cast<size_t>(v) * state_stride_);
+                                       i * state_stride_);
   }
   size_t state_bytes() const { return state_stride_; }
 
@@ -811,6 +818,10 @@ class BatchNetwork {
   int batch_;
   std::vector<int> first_;      // shared CSR offsets (see Network)
   std::vector<int> send_chan_;  // shared reverse half-edge channels
+  std::vector<int> order_;      // internal rank -> external id (iota, or BFS
+                                // under options.relabel), as in Network
+  std::vector<int> perm_;       // external id -> internal rank; empty =
+                                // identity (no relabel)
   // B-wide mailboxes, epoch-stamped, never cleared. stage_ is the
   // sender-indexed buffer Send writes, laid out instance-MAJOR (one
   // contiguous plane per instance, so a cache-blocked instance slice emits
@@ -837,7 +848,11 @@ class BatchNetwork {
   // decrement order has produced the same count.
   std::unique_ptr<std::atomic<int>[]> node_live_;
   std::vector<int> live_nodes_;       // per instance: # nodes not halted
-  std::vector<int> active_;           // nodes live in >= 1 instance
+  std::vector<int> active_;           // INTERNAL ranks of nodes live in >= 1
+                                      // instance, engine (rank) order — the
+                                      // state planes are rank-indexed, so the
+                                      // dense pass streams them sequentially
+                                      // under relabel too (see Network)
   std::vector<int64_t> messages_delivered_;          // per instance
   std::vector<std::vector<RoundStats>> round_stats_;  // per instance
   std::vector<int> rounds_;           // per instance, last Run's result

@@ -396,7 +396,8 @@ int ParallelNetwork::RunUntil(Algorithm& alg, int max_rounds,
         const int v = order_[i];
         if (halted_[v] || wake_round_[i] <= next) return;
         const int lo = first_[v];
-        const int hi = first_[v + 1];
+        const int hi = lo + graph_->Degree(v);  // not first_[v + 1]: see
+                                                // BuildChanOwner on relabel
         bool observable = false;
         for (int c = lo; c < hi && !observable; ++c) {
           const Message& msg = inbox_[c];

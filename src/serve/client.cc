@@ -1,0 +1,214 @@
+#include "src/serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace treelocal::serve {
+namespace {
+
+bool ReadFull(int fd, uint8_t* buf, size_t n, std::string* error) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r == 0) {
+      *error = "connection closed by server";
+      return false;
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const uint8_t* buf, size_t n, std::string* error) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::Connect(const std::string& host, int port, std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad host address '" + host + "'";
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    *error = std::string("connect: ") + std::strerror(errno);
+    Close();
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return true;
+}
+
+bool Client::SendRaw(const std::vector<uint8_t>& bytes, std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  return WriteFull(fd_, bytes.data(), bytes.size(), error);
+}
+
+bool Client::ReadResponseFrame(std::vector<uint8_t>* payload,
+                               std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  uint8_t header[kFrameHeaderBytes];
+  if (!ReadFull(fd_, header, sizeof header, error)) return false;
+  uint32_t len = 0;
+  const Status s = DecodeFrameHeader(header, sizeof header, &len);
+  if (s != Status::kOk) {
+    *error = std::string("bad response frame: ") + StatusName(s);
+    return false;
+  }
+  payload->resize(len);
+  if (len > 0 && !ReadFull(fd_, payload->data(), len, error)) return false;
+  return true;
+}
+
+bool Client::RoundTrip(Op op, const std::vector<uint8_t>& request,
+                       Response* resp, std::string* error) {
+  if (!SendRaw(EncodeFrame(request), error)) return false;
+  std::vector<uint8_t> payload;
+  if (!ReadResponseFrame(&payload, error)) return false;
+  const Status s = DecodeResponse(op, payload.data(), payload.size(), resp);
+  if (s != Status::kOk) {
+    *error = std::string("undecodable response: ") + StatusName(s);
+    return false;
+  }
+  if (resp->status != Status::kOk) {
+    *error = std::string(StatusName(resp->status)) + ": " + resp->error;
+    return false;
+  }
+  return true;
+}
+
+bool Client::Ping(uint32_t* version, std::string* error) {
+  Response resp;
+  if (!RoundTrip(Op::kPing, EncodePing(), &resp, error)) return false;
+  *version = resp.version;
+  return true;
+}
+
+bool Client::RegisterGraph(const Graph& g, const std::vector<int64_t>& ids,
+                           uint64_t* graph_key, bool* fresh,
+                           std::string* error) {
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  edges.reserve(g.NumEdges());
+  for (int e = 0; e < g.NumEdges(); ++e) {
+    edges.emplace_back(g.EdgeU(e), g.EdgeV(e));
+  }
+  Response resp;
+  if (!RoundTrip(Op::kRegisterGraph,
+                 EncodeRegisterGraph(g.NumNodes(), edges, ids), &resp,
+                 error)) {
+    return false;
+  }
+  *graph_key = resp.graph_key;
+  *fresh = resp.fresh;
+  return true;
+}
+
+bool Client::Solve(uint64_t graph_key, const SolveSpec& spec,
+                   uint64_t* ticket, std::string* error) {
+  Response resp;
+  if (!RoundTrip(Op::kSolve, EncodeSolve(graph_key, spec), &resp, error)) {
+    return false;
+  }
+  *ticket = resp.ticket;
+  return true;
+}
+
+bool Client::Fetch(uint64_t ticket, bool block, TicketState* state,
+                   SolveResult* result, std::string* why,
+                   std::string* error) {
+  Response resp;
+  if (!RoundTrip(Op::kFetch, EncodeFetch(ticket, block), &resp, error)) {
+    return false;
+  }
+  *state = resp.state;
+  if (resp.state == TicketState::kDone) *result = resp.result;
+  if (resp.state == TicketState::kFailed) *why = resp.why;
+  return true;
+}
+
+bool Client::SolveAndWait(uint64_t graph_key, const SolveSpec& spec,
+                          SolveResult* result, std::string* error) {
+  uint64_t ticket = 0;
+  if (!Solve(graph_key, spec, &ticket, error)) return false;
+  TicketState state;
+  std::string why;
+  if (!Fetch(ticket, /*block=*/true, &state, result, &why, error)) {
+    return false;
+  }
+  if (state != TicketState::kDone) {
+    *error = std::string("ticket ") + TicketStateName(state) +
+             (why.empty() ? "" : ": " + why);
+    return false;
+  }
+  return true;
+}
+
+bool Client::Cancel(uint64_t ticket, TicketState* state, std::string* error) {
+  Response resp;
+  if (!RoundTrip(Op::kCancel, EncodeCancel(ticket), &resp, error)) {
+    return false;
+  }
+  *state = resp.state;
+  return true;
+}
+
+bool Client::Stats(ServerStats* stats, std::string* error) {
+  Response resp;
+  if (!RoundTrip(Op::kStats, EncodeStats(), &resp, error)) return false;
+  *stats = resp.stats;
+  return true;
+}
+
+bool Client::Shutdown(std::string* error) {
+  Response resp;
+  return RoundTrip(Op::kShutdown, EncodeShutdown(), &resp, error);
+}
+
+}  // namespace treelocal::serve

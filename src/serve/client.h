@@ -1,0 +1,63 @@
+#ifndef TREELOCAL_SERVE_CLIENT_H_
+#define TREELOCAL_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/serve/protocol.h"
+
+namespace treelocal::serve {
+
+// Blocking treelocald client: one TCP connection, one outstanding request
+// at a time. Every RPC returns true on a successful round-trip with an
+// kOk response; any transport failure, protocol violation, or error
+// status lands in *error as "<status-name>: <message>". Not thread-safe —
+// the concurrent tests and the bench give each client thread its own
+// Client, which is also the deployment model (a connection is a session).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool Connect(const std::string& host, int port, std::string* error);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  bool Ping(uint32_t* version, std::string* error);
+  // ids empty = server assigns 0..n-1 (the transcript_verify convention).
+  bool RegisterGraph(const Graph& g, const std::vector<int64_t>& ids,
+                     uint64_t* graph_key, bool* fresh, std::string* error);
+  bool Solve(uint64_t graph_key, const SolveSpec& spec, uint64_t* ticket,
+             std::string* error);
+  bool Fetch(uint64_t ticket, bool block, TicketState* state,
+             SolveResult* result, std::string* why, std::string* error);
+  // Convenience: Solve + blocking Fetch, failing unless the ticket lands
+  // kDone.
+  bool SolveAndWait(uint64_t graph_key, const SolveSpec& spec,
+                    SolveResult* result, std::string* error);
+  bool Cancel(uint64_t ticket, TicketState* state, std::string* error);
+  bool Stats(ServerStats* stats, std::string* error);
+  bool Shutdown(std::string* error);
+
+  // Escape hatch for the fuzz tests: writes arbitrary bytes to the socket
+  // and (optionally) reads one response frame back.
+  bool SendRaw(const std::vector<uint8_t>& bytes, std::string* error);
+  bool ReadResponseFrame(std::vector<uint8_t>* payload, std::string* error);
+
+ private:
+  // One framed round-trip: send the request payload, read the response
+  // payload, decode it against `op`.
+  bool RoundTrip(Op op, const std::vector<uint8_t>& request, Response* resp,
+                 std::string* error);
+
+  int fd_ = -1;
+};
+
+}  // namespace treelocal::serve
+
+#endif  // TREELOCAL_SERVE_CLIENT_H_

@@ -1,0 +1,127 @@
+#ifndef TREELOCAL_SERVE_DISPATCH_H_
+#define TREELOCAL_SERVE_DISPATCH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/serve/protocol.h"
+#include "src/serve/registry.h"
+#include "src/support/fault.h"
+
+namespace treelocal::serve {
+
+// The daemon's solve queue and its single dispatcher thread: the component
+// that turns "batch" into "concurrent users". Requests are admitted into a
+// FIFO; the dispatcher pops the head and then sweeps the rest of the queue
+// for requests it can run in the SAME engine pass:
+//
+//  - kRakeCompress on the same resident graph coalesces into one
+//    BatchNetwork run, one instance per DISTINCT canonical parameter
+//    (RakeCompressCanonicalK): requests whose k's are provably
+//    transcript-identical share a single instance and fan the engine-level
+//    result back out. Per-instance results are bit-identical to a solo
+//    Network run of the same (graph, k) — same rounds, messages, and digest
+//    chain — which is the serving-correctness contract the concurrent tests
+//    pin.
+//  - kThm12Node on the same graph and problem coalesces via
+//    SolveNodeProblemOnTreeBatch (the decomposition phase of all k's is one
+//    batch pass).
+//  - kThm15Edge and kDecomposition run solo.
+//
+// The coalesced rake-compress pass is driven in RunUntil slices, so
+// cancellation and per-request round budgets act at slice boundaries
+// mid-run: a cancelled member's instance keeps running (the shared
+// transcript must not change under the other members) but its result is
+// dropped, and when every member of a pass is cancelled the engine is
+// abandoned at the slice boundary. Round-budget overruns surface as the
+// engine's MaxRoundsExceededError, mapped to kFailed with the reason
+// string.
+class Dispatcher {
+ public:
+  struct Options {
+    int max_batch = 16;     // widest coalesced pass
+    int slice_rounds = 64;  // RunUntil pause cadence (cancel latency bound)
+    int engine_threads = 1;
+    // Deterministic fault injection into the coalesced engine pass (the
+    // bench's negative control: an injected fault must surface as kFailed,
+    // never as a wrong digest). Non-owning; null = no faults.
+    support::FaultInjector* fault = nullptr;
+  };
+
+  Dispatcher(const Registry* registry, const Options& options);
+  ~Dispatcher();
+
+  // Validates and enqueues a solve. On success returns kOk and sets
+  // *ticket; otherwise returns the error and sets *error.
+  Status Submit(const ResidentGraph* graph, const SolveSpec& spec,
+                uint64_t* ticket, std::string* error);
+
+  // Snapshot of a ticket; block = wait for a terminal state. False if the
+  // ticket is unknown.
+  bool Fetch(uint64_t ticket, bool block, TicketState* state,
+             SolveResult* result, std::string* why);
+
+  // Requests cancellation. Queued tickets cancel immediately; running ones
+  // at the next slice boundary (kRakeCompress) or not at all once a solo
+  // run has started — the returned state is what the ticket reached.
+  // False if the ticket is unknown.
+  bool Cancel(uint64_t ticket, TicketState* state);
+
+  // Fills the dispatcher-owned counters of *stats (queue/batch/engine
+  // fields; the server adds its own).
+  void FillStats(ServerStats* stats) const;
+
+  // Stops accepting (subsequent Submits fail kShuttingDown), cancels
+  // queued tickets, finishes the in-flight pass, and joins the thread.
+  // Idempotent.
+  void Stop();
+
+ private:
+  struct Ticket;
+  using TicketPtr = std::shared_ptr<Ticket>;
+
+  void WorkerLoop();
+  std::vector<TicketPtr> CollectBatch(TicketPtr head);
+  void RunRakeCompressBatchPass(const std::vector<TicketPtr>& members);
+  void RunThm12BatchPass(const std::vector<TicketPtr>& members);
+  void RunSolo(const TicketPtr& t);
+  void Finish(const TicketPtr& t, TicketState state, const SolveResult& res,
+              const std::string& why);
+
+  const Registry* registry_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;  // queue became non-empty / stopping
+  std::condition_variable cv_done_;  // some ticket reached a terminal state
+  std::deque<TicketPtr> queue_;
+  std::unordered_map<uint64_t, TicketPtr> tickets_;
+  uint64_t next_ticket_ = 1;
+  bool stopping_ = false;
+
+  // Counters (guarded by mu_).
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t batched_requests_ = 0;
+  uint64_t max_batch_seen_ = 0;
+  uint64_t max_queue_depth_ = 0;
+  uint64_t inflight_ = 0;
+  uint64_t engine_rounds_ = 0;
+  uint64_t engine_messages_ = 0;
+
+  std::thread worker_;
+};
+
+}  // namespace treelocal::serve
+
+#endif  // TREELOCAL_SERVE_DISPATCH_H_

@@ -1,0 +1,438 @@
+#include "src/serve/protocol.h"
+
+#include <cstring>
+
+namespace treelocal::serve {
+namespace {
+
+// Hard cap on decoded element counts, separate from the frame-size cap: a
+// corrupted count field must fail fast instead of driving a giant resize
+// whose per-element reads would each fail anyway.
+constexpr uint32_t kMaxElements = kMaxFramePayload / 8;
+
+void PutU32(std::vector<uint8_t>& buf, uint32_t v) {
+  buf.push_back(static_cast<uint8_t>(v));
+  buf.push_back(static_cast<uint8_t>(v >> 8));
+  buf.push_back(static_cast<uint8_t>(v >> 16));
+  buf.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+}  // namespace
+
+const char* StatusName(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kMalformedFrame: return "malformed-frame";
+    case Status::kBadMagic: return "bad-magic";
+    case Status::kOversizeFrame: return "oversize-frame";
+    case Status::kBadRequest: return "bad-request";
+    case Status::kBadGraph: return "bad-graph";
+    case Status::kUnknownGraph: return "unknown-graph";
+    case Status::kUnknownTicket: return "unknown-ticket";
+    case Status::kShuttingDown: return "shutting-down";
+    case Status::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+const char* TicketStateName(TicketState s) {
+  switch (s) {
+    case TicketState::kQueued: return "queued";
+    case TicketState::kRunning: return "running";
+    case TicketState::kDone: return "done";
+    case TicketState::kCancelled: return "cancelled";
+    case TicketState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+void ByteWriter::U32(uint32_t v) { PutU32(buf_, v); }
+
+void ByteWriter::U64(uint64_t v) {
+  PutU32(buf_, static_cast<uint32_t>(v));
+  PutU32(buf_, static_cast<uint32_t>(v >> 32));
+}
+
+void ByteWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+uint8_t ByteReader::U8() {
+  if (fail_ || size_ - pos_ < 1) {
+    fail_ = true;
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+uint32_t ByteReader::U32() {
+  if (fail_ || size_ - pos_ < 4) {
+    fail_ = true;
+    return 0;
+  }
+  uint32_t v = static_cast<uint32_t>(data_[pos_]) |
+               static_cast<uint32_t>(data_[pos_ + 1]) << 8 |
+               static_cast<uint32_t>(data_[pos_ + 2]) << 16 |
+               static_cast<uint32_t>(data_[pos_ + 3]) << 24;
+  pos_ += 4;
+  return v;
+}
+
+uint64_t ByteReader::U64() {
+  uint64_t lo = U32();
+  uint64_t hi = U32();
+  return lo | hi << 32;
+}
+
+std::string ByteReader::Str() {
+  uint32_t len = U32();
+  if (fail_ || size_ - pos_ < len) {
+    fail_ = true;
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(frame, kMagic);
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+Status DecodeFrameHeader(const uint8_t* header, size_t size,
+                         uint32_t* payload_len) {
+  if (size < kFrameHeaderBytes) return Status::kMalformedFrame;
+  ByteReader r(header, size);
+  const uint32_t magic = r.U32();
+  const uint32_t len = r.U32();
+  if (magic != kMagic) return Status::kBadMagic;
+  if (len > kMaxFramePayload) return Status::kOversizeFrame;
+  *payload_len = len;
+  return Status::kOk;
+}
+
+// --- requests ---------------------------------------------------------------
+
+std::vector<uint8_t> EncodePing() {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(Op::kPing));
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeRegisterGraph(
+    int32_t n, const std::vector<std::pair<int32_t, int32_t>>& edges,
+    const std::vector<int64_t>& ids) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(Op::kRegisterGraph));
+  w.I32(n);
+  w.U32(static_cast<uint32_t>(edges.size()));
+  for (const auto& [u, v] : edges) {
+    w.I32(u);
+    w.I32(v);
+  }
+  w.U8(ids.empty() ? 0 : 1);
+  for (int64_t id : ids) w.I64(id);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeSolve(uint64_t graph_key, const SolveSpec& spec) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(Op::kSolve));
+  w.U64(graph_key);
+  w.U8(static_cast<uint8_t>(spec.kind));
+  w.U8(static_cast<uint8_t>(spec.problem));
+  w.I32(spec.k);
+  w.I32(spec.a);
+  w.I32(spec.max_rounds);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeFetch(uint64_t ticket, bool block) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(Op::kFetch));
+  w.U64(ticket);
+  w.U8(block ? 1 : 0);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeCancel(uint64_t ticket) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(Op::kCancel));
+  w.U64(ticket);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeStats() {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(Op::kStats));
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeShutdown() {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(Op::kShutdown));
+  return w.Take();
+}
+
+Status DecodeRequest(const uint8_t* payload, size_t size, Request* out) {
+  ByteReader r(payload, size);
+  const uint8_t op = r.U8();
+  if (!r.ok()) return Status::kMalformedFrame;
+  if (op > static_cast<uint8_t>(Op::kShutdown)) return Status::kBadRequest;
+  Request req;
+  req.op = static_cast<Op>(op);
+  switch (req.op) {
+    case Op::kPing:
+    case Op::kStats:
+    case Op::kShutdown:
+      break;
+    case Op::kRegisterGraph: {
+      req.n = r.I32();
+      const uint32_t m = r.U32();
+      if (!r.ok()) return Status::kMalformedFrame;
+      if (req.n < 0) return Status::kBadRequest;
+      if (m > kMaxElements || r.remaining() < static_cast<size_t>(m) * 8) {
+        return Status::kMalformedFrame;
+      }
+      req.edges.reserve(m);
+      for (uint32_t e = 0; e < m; ++e) {
+        const int32_t u = r.I32();
+        const int32_t v = r.I32();
+        req.edges.emplace_back(u, v);
+      }
+      const uint8_t has_ids = r.U8();
+      if (!r.ok() || has_ids > 1) return Status::kMalformedFrame;
+      if (has_ids) {
+        if (r.remaining() < static_cast<size_t>(req.n) * 8) {
+          return Status::kMalformedFrame;
+        }
+        req.ids.reserve(req.n);
+        for (int32_t i = 0; i < req.n; ++i) req.ids.push_back(r.I64());
+      }
+      break;
+    }
+    case Op::kSolve: {
+      req.graph_key = r.U64();
+      const uint8_t kind = r.U8();
+      const uint8_t problem = r.U8();
+      req.spec.k = r.I32();
+      req.spec.a = r.I32();
+      req.spec.max_rounds = r.I32();
+      if (!r.ok()) return Status::kMalformedFrame;
+      if (kind > static_cast<uint8_t>(SolveKind::kDecomposition) ||
+          problem > static_cast<uint8_t>(ProblemId::kMatching)) {
+        return Status::kBadRequest;
+      }
+      req.spec.kind = static_cast<SolveKind>(kind);
+      req.spec.problem = static_cast<ProblemId>(problem);
+      break;
+    }
+    case Op::kFetch: {
+      req.ticket = r.U64();
+      const uint8_t block = r.U8();
+      if (!r.ok() || block > 1) return Status::kMalformedFrame;
+      req.block = block != 0;
+      break;
+    }
+    case Op::kCancel:
+      req.ticket = r.U64();
+      break;
+  }
+  if (!r.Exhausted()) return Status::kMalformedFrame;
+  *out = std::move(req);
+  return Status::kOk;
+}
+
+// --- responses --------------------------------------------------------------
+
+namespace {
+
+void PutResult(ByteWriter& w, const SolveResult& res) {
+  w.U8(static_cast<uint8_t>(res.kind));
+  w.U8(res.valid);
+  w.U32(res.engine_rounds);
+  w.U32(res.total_rounds);
+  w.I64(res.messages);
+  w.U64(res.digest);
+  w.U32(res.iterations);
+}
+
+bool GetResult(ByteReader& r, SolveResult* res) {
+  const uint8_t kind = r.U8();
+  res->valid = r.U8();
+  res->engine_rounds = r.U32();
+  res->total_rounds = r.U32();
+  res->messages = r.I64();
+  res->digest = r.U64();
+  res->iterations = r.U32();
+  if (!r.ok() || kind > static_cast<uint8_t>(SolveKind::kDecomposition)) {
+    return false;
+  }
+  res->kind = static_cast<SolveKind>(kind);
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeError(Status status, const std::string& message) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(status));
+  w.Str(message);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodePingResponse() {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(Status::kOk));
+  w.U32(kProtocolVersion);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeRegisterGraphResponse(uint64_t key, int32_t n,
+                                                 int32_t m, bool fresh) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(Status::kOk));
+  w.U64(key);
+  w.I32(n);
+  w.I32(m);
+  w.U8(fresh ? 1 : 0);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeSolveResponse(uint64_t ticket) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(Status::kOk));
+  w.U64(ticket);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeFetchResponse(TicketState state,
+                                         const SolveResult& result,
+                                         const std::string& why) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(Status::kOk));
+  w.U8(static_cast<uint8_t>(state));
+  if (state == TicketState::kDone) PutResult(w, result);
+  if (state == TicketState::kFailed) w.Str(why);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeCancelResponse(TicketState state) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(Status::kOk));
+  w.U8(static_cast<uint8_t>(state));
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeStatsResponse(const ServerStats& s) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(Status::kOk));
+  w.U64(s.graphs);
+  w.U64(s.requests);
+  w.U64(s.completed);
+  w.U64(s.failed);
+  w.U64(s.cancelled);
+  w.U64(s.batches);
+  w.U64(s.batched_requests);
+  w.U64(s.max_batch);
+  w.U64(s.queue_depth);
+  w.U64(s.max_queue_depth);
+  w.U64(s.inflight);
+  w.U64(s.engine_rounds);
+  w.U64(s.engine_messages);
+  w.U64(s.protocol_errors);
+  w.U64(s.uptime_micros);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeShutdownResponse() {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(Status::kOk));
+  return w.Take();
+}
+
+Status DecodeResponse(Op op, const uint8_t* payload, size_t size,
+                      Response* out) {
+  ByteReader r(payload, size);
+  const uint8_t status = r.U8();
+  if (!r.ok()) return Status::kMalformedFrame;
+  if (status > static_cast<uint8_t>(Status::kInternal)) {
+    return Status::kMalformedFrame;
+  }
+  Response resp;
+  resp.status = static_cast<Status>(status);
+  if (resp.status != Status::kOk) {
+    resp.error = r.Str();
+    if (!r.Exhausted()) return Status::kMalformedFrame;
+    *out = std::move(resp);
+    return Status::kOk;
+  }
+  switch (op) {
+    case Op::kPing:
+      resp.version = r.U32();
+      break;
+    case Op::kRegisterGraph: {
+      resp.graph_key = r.U64();
+      resp.n = r.I32();
+      resp.m = r.I32();
+      const uint8_t fresh = r.U8();
+      if (!r.ok() || fresh > 1) return Status::kMalformedFrame;
+      resp.fresh = fresh != 0;
+      break;
+    }
+    case Op::kSolve:
+      resp.ticket = r.U64();
+      break;
+    case Op::kFetch: {
+      const uint8_t state = r.U8();
+      if (!r.ok() || state > static_cast<uint8_t>(TicketState::kFailed)) {
+        return Status::kMalformedFrame;
+      }
+      resp.state = static_cast<TicketState>(state);
+      if (resp.state == TicketState::kDone &&
+          !GetResult(r, &resp.result)) {
+        return Status::kMalformedFrame;
+      }
+      if (resp.state == TicketState::kFailed) resp.why = r.Str();
+      break;
+    }
+    case Op::kCancel: {
+      const uint8_t state = r.U8();
+      if (!r.ok() || state > static_cast<uint8_t>(TicketState::kFailed)) {
+        return Status::kMalformedFrame;
+      }
+      resp.state = static_cast<TicketState>(state);
+      break;
+    }
+    case Op::kStats:
+      resp.stats.graphs = r.U64();
+      resp.stats.requests = r.U64();
+      resp.stats.completed = r.U64();
+      resp.stats.failed = r.U64();
+      resp.stats.cancelled = r.U64();
+      resp.stats.batches = r.U64();
+      resp.stats.batched_requests = r.U64();
+      resp.stats.max_batch = r.U64();
+      resp.stats.queue_depth = r.U64();
+      resp.stats.max_queue_depth = r.U64();
+      resp.stats.inflight = r.U64();
+      resp.stats.engine_rounds = r.U64();
+      resp.stats.engine_messages = r.U64();
+      resp.stats.protocol_errors = r.U64();
+      resp.stats.uptime_micros = r.U64();
+      break;
+    case Op::kShutdown:
+      break;
+  }
+  if (!r.Exhausted()) return Status::kMalformedFrame;
+  *out = std::move(resp);
+  return Status::kOk;
+}
+
+}  // namespace treelocal::serve

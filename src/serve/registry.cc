@@ -1,0 +1,104 @@
+#include "src/serve/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/graph/algorithms.h"
+#include "src/support/digest.h"
+
+namespace treelocal::serve {
+namespace {
+
+// Content key over the canonicalized (sorted, endpoint-ordered) edge list
+// and the id assignment. Canonicalizing first makes the key independent of
+// the order the client happened to stream edges in, so two clients
+// registering the same graph coalesce onto one resident entry.
+uint64_t ContentKey(int32_t n,
+                    const std::vector<std::pair<int32_t, int32_t>>& edges,
+                    const std::vector<int64_t>& ids) {
+  uint64_t h = support::Fnv1a64(&n, sizeof n);
+  std::vector<std::pair<int32_t, int32_t>> canon(edges);
+  for (auto& [u, v] : canon) {
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(canon.begin(), canon.end());
+  if (!canon.empty()) {
+    h = support::Fnv1a64(canon.data(),
+                         canon.size() * sizeof(canon[0]), h);
+  }
+  if (!ids.empty()) {
+    h = support::Fnv1a64(ids.data(), ids.size() * sizeof(ids[0]), h);
+  }
+  return h;
+}
+
+}  // namespace
+
+const ResidentGraph* Registry::Register(
+    int32_t n, std::vector<std::pair<int32_t, int32_t>> edges,
+    std::vector<int64_t> ids, bool* fresh, std::string* error) {
+  if (!ids.empty() && static_cast<int32_t>(ids.size()) != n) {
+    *error = "ids size does not match node count";
+    return nullptr;
+  }
+  if (ids.empty()) {
+    ids.resize(n);
+    for (int32_t i = 0; i < n; ++i) ids[i] = i;
+  }
+  // Ids must be distinct: the theorem pipelines break layer ties by id, and
+  // duplicate ids would silently produce an invalid total order.
+  {
+    std::vector<int64_t> sorted(ids);
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      *error = "duplicate node ids";
+      return nullptr;
+    }
+  }
+  const uint64_t key = ContentKey(n, edges, ids);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = graphs_.find(key);
+    if (it != graphs_.end()) {
+      *fresh = false;
+      return it->second.get();
+    }
+  }
+  // Build outside the lock: FromEdges is the expensive validated step.
+  auto entry = std::make_unique<ResidentGraph>();
+  entry->key = key;
+  try {
+    std::vector<std::pair<int, int>> e(edges.begin(), edges.end());
+    entry->graph = Graph::FromEdges(n, std::move(e));
+  } catch (const std::exception& ex) {
+    *error = ex.what();
+    return nullptr;
+  }
+  entry->ids = std::move(ids);
+  entry->id_space =
+      entry->ids.empty()
+          ? 1
+          : *std::max_element(entry->ids.begin(), entry->ids.end()) + 1;
+  entry->is_forest = IsForest(entry->graph);
+  entry->max_degree = entry->graph.MaxDegree();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = graphs_.try_emplace(key, std::move(entry));
+  // A racing identical registration may have won; either entry is
+  // equivalent (same content), so return whichever is resident.
+  *fresh = inserted;
+  return it->second.get();
+}
+
+const ResidentGraph* Registry::Find(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(key);
+  return it == graphs_.end() ? nullptr : it->second.get();
+}
+
+size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.size();
+}
+
+}  // namespace treelocal::serve

@@ -1,0 +1,61 @@
+#ifndef TREELOCAL_SERVE_REGISTRY_H_
+#define TREELOCAL_SERVE_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace treelocal::serve {
+
+// A graph admitted once and resident for the daemon's lifetime. Admission
+// is the expensive, validated step (Graph::FromEdges rejects bad edge
+// lists); every subsequent solve against the key reuses the CSR graph and
+// id assignment with zero per-request parsing. The dispatcher's engines run
+// with NetworkOptions::relabel on, so the BFS locality permutation is also
+// computed once per admitted graph — amortized across all requests, which
+// is the point of a resident daemon.
+struct ResidentGraph {
+  uint64_t key = 0;
+  Graph graph;
+  std::vector<int64_t> ids;
+  int64_t id_space = 0;  // strict upper bound on the ids
+  bool is_forest = false;
+  int max_degree = 0;
+};
+
+// Thread-safe content-addressed graph store. The key is an FNV-1a hash of
+// the canonicalized edge list and ids, so re-registering identical content
+// from any connection returns the same key (and `fresh = false`) instead of
+// a second copy. Entries are never evicted: a ResidentGraph* stays valid
+// for the registry's lifetime, which lets the dispatcher hold bare pointers
+// across engine runs without reference counting.
+class Registry {
+ public:
+  // Validates and admits an edge list. `ids` empty means the server assigns
+  // 0..n-1 (the transcript_verify record convention, so daemon digests are
+  // directly comparable to recorded solo runs). Returns the resident entry,
+  // or null with *error set when the edge list or ids are rejected.
+  const ResidentGraph* Register(int32_t n,
+                                std::vector<std::pair<int32_t, int32_t>> edges,
+                                std::vector<int64_t> ids, bool* fresh,
+                                std::string* error);
+
+  // Looks up an admitted graph; null if unknown.
+  const ResidentGraph* Find(uint64_t key) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<ResidentGraph>> graphs_;
+};
+
+}  // namespace treelocal::serve
+
+#endif  // TREELOCAL_SERVE_REGISTRY_H_

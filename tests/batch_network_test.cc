@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -23,6 +24,7 @@ using local::Algorithm;
 using local::BatchNetwork;
 using local::Message;
 using local::Network;
+using local::NetworkOptions;
 using local::NodeContext;
 using local::RoundStats;
 
@@ -261,6 +263,262 @@ TEST(BatchNetworkTest, EmptyAndTinyGraphs) {
   Network solo(one, ids);
   EXPECT_EQ(net1.Run(just_c, 64)[0], solo.Run(c_solo, 64));
   EXPECT_EQ(c.digest_, c_solo.digest_);
+}
+
+// ---------------------------------------------------------------------------
+// NetworkOptions::relabel on the batch engine: BFS channel clusters and
+// rank-indexed state planes must be invisible in every transcript surface —
+// per-instance round counts, message counts, RoundStats, digest chains,
+// algorithm outputs, StateAt read-back, and checkpoints.
+// ---------------------------------------------------------------------------
+
+// Relabeled batch vs plain batch, per instance, on message-dependent
+// transcripts: every observable surface identical; serial and sharded.
+void ExpectRelabelBatchBitIdentical(const Graph& g,
+                                    const std::vector<int64_t>& ids, int batch,
+                                    int threads) {
+  const int n = g.NumNodes();
+  NetworkOptions plain, relabel;
+  relabel.relabel = true;
+
+  auto run = [&](const NetworkOptions& opt) {
+    std::vector<std::unique_ptr<SaltedDigest>> algs;
+    std::vector<Algorithm*> ptrs;
+    for (int b = 0; b < batch; ++b) {
+      algs.push_back(std::make_unique<SaltedDigest>(n, 1000003u * b));
+      ptrs.push_back(algs.back().get());
+    }
+    BatchNetwork net(g, ids, batch, threads, opt);
+    std::vector<int> rounds = net.Run(ptrs, 64);
+    struct Got {
+      std::vector<int> rounds;
+      std::vector<int64_t> messages;
+      std::vector<std::vector<RoundStats>> stats;
+      std::vector<std::vector<uint64_t>> chains;
+      std::vector<std::vector<uint64_t>> outputs;
+    } got;
+    got.rounds = rounds;
+    for (int b = 0; b < batch; ++b) {
+      got.messages.push_back(net.messages_delivered(b));
+      got.stats.push_back(net.round_stats(b));
+      got.chains.push_back(net.round_digests(b));
+      got.outputs.push_back(algs[b]->digest_);
+    }
+    return std::make_tuple(got.rounds, got.messages, got.stats, got.chains,
+                           got.outputs);
+  };
+
+  EXPECT_EQ(run(relabel), run(plain))
+      << "batch=" << batch << " threads=" << threads;
+}
+
+TEST(BatchNetworkRelabel, SaltedDigestBitIdentical) {
+  for (int threads : {1, 3}) {
+    {
+      const int n = 173;
+      Graph g = UniformRandomTree(n, 2000);
+      ExpectRelabelBatchBitIdentical(g, DefaultIds(n, 2001), 2, threads);
+      ExpectRelabelBatchBitIdentical(g, DefaultIds(n, 2001), 8, threads);
+    }
+    {
+      // Multi-component forest: BFS restarts cross component seams.
+      Graph g = ForestUnion(240, 1, 2002);
+      ExpectRelabelBatchBitIdentical(g, DefaultIds(g.NumNodes(), 2003), 8,
+                                     threads);
+    }
+    {
+      Graph g = Star(50);
+      ExpectRelabelBatchBitIdentical(g, DefaultIds(50, 2004), 4, threads);
+    }
+  }
+}
+
+// The relabel win needs rank-indexed state planes; RunRakeCompressBatch
+// reads results back through StateAt, so this pins the external->rank
+// translation end to end against solo plain runs.
+TEST(BatchNetworkRelabel, RakeCompressStateReadBackBitIdentical) {
+  const std::vector<int> ks = {2, 3, 4, 6, 8, 12, 16, 24};
+  for (int trial = 0; trial < 3; ++trial) {
+    const int n = 90 + trial * 113;
+    Graph tree = trial == 1 ? BoundedDegreeRandomTree(n, 4, 2100 + trial)
+                            : UniformRandomTree(n, 2100 + trial);
+    auto ids = DefaultIds(n, 2200 + trial);
+    NetworkOptions relabel;
+    relabel.relabel = true;
+    for (int threads : {1, 3}) {
+      BatchNetwork bnet(tree, ids, static_cast<int>(ks.size()), threads,
+                        relabel);
+      std::vector<RakeCompressResult> batched = RunRakeCompressBatch(bnet, ks);
+      for (size_t b = 0; b < ks.size(); ++b) {
+        RakeCompressResult solo = RunRakeCompress(tree, ids, ks[b]);
+        EXPECT_EQ(batched[b].engine_rounds, solo.engine_rounds);
+        EXPECT_EQ(batched[b].messages, solo.messages);
+        EXPECT_EQ(batched[b].iteration, solo.iteration);
+        EXPECT_EQ(batched[b].compressed, solo.compressed);
+        EXPECT_EQ(batched[b].round_stats, solo.round_stats);
+      }
+    }
+  }
+}
+
+// Staged broadcast sweep opting into wake scheduling (per-rank action
+// rounds, sleeps, message wakes) — the scheduled sparse path does its own
+// state addressing, so relabel x scheduling is pinned separately. Same
+// algorithm as the wake-scheduler suite's StagedSweep.
+class StagedSweepAlg : public Algorithm {
+ public:
+  StagedSweepAlg(int num_rounds, int mult) : k_(num_rounds), mult_(mult) {}
+  bool WakeScheduled() const override { return true; }
+  int InitialWakeRound(int node) const override { return Rank(node); }
+  size_t StateBytes() const override { return sizeof(int64_t); }
+  void InitState(int node, void* state) override {
+    *static_cast<int64_t*>(state) = node;
+  }
+  void OnRound(NodeContext& ctx) override {
+    const int rank = Rank(ctx.node());
+    const int r = ctx.round();
+    int64_t& acc = ctx.State<int64_t>();
+    for (int p = 0; p < ctx.degree(); ++p) {
+      const Message& m = ctx.Recv(p);
+      if (m.present()) acc = acc * 31 + m.word0;
+    }
+    if (r == rank) ctx.Broadcast(Message::Of(ctx.id()));
+    if (r >= k_ - 1) {
+      ctx.Halt();
+      return;
+    }
+    ctx.SleepUntil(r < rank ? rank : k_ - 1);
+  }
+
+ private:
+  int Rank(int node) const { return (node * mult_) % k_; }
+  const int k_;
+  const int mult_;
+};
+
+TEST(BatchNetworkRelabel, WakeScheduledBitIdentical) {
+  const int n = 160;
+  Graph g = UniformRandomTree(n, 2300);
+  auto ids = DefaultIds(n, 2301);
+  const std::vector<int> mults = {1, 3, 5};
+
+  auto run = [&](bool relabel_on, bool scheduled_on, int threads) {
+    NetworkOptions opt;
+    opt.relabel = relabel_on;
+    opt.wake_scheduling = scheduled_on;
+    std::vector<std::unique_ptr<StagedSweepAlg>> algs;
+    std::vector<Algorithm*> ptrs;
+    for (int m : mults) {
+      algs.push_back(std::make_unique<StagedSweepAlg>(9, m));
+      ptrs.push_back(algs.back().get());
+    }
+    BatchNetwork net(g, ids, static_cast<int>(mults.size()), threads, opt);
+    net.Run(ptrs, 64);
+    std::vector<std::vector<uint64_t>> chains;
+    std::vector<std::vector<int64_t>> states;
+    std::vector<int64_t> visits;
+    for (size_t b = 0; b < mults.size(); ++b) {
+      chains.push_back(net.round_digests(static_cast<int>(b)));
+      std::vector<int64_t> st(n);
+      for (int v = 0; v < n; ++v) {
+        st[v] = net.StateAt<int64_t>(static_cast<int>(b), v);
+      }
+      states.push_back(std::move(st));
+      int64_t vis = 0;
+      for (const RoundStats& rs : net.round_stats(static_cast<int>(b))) {
+        vis += rs.visits;
+      }
+      visits.push_back(vis);
+    }
+    return std::make_tuple(chains, states, visits);
+  };
+
+  const auto want = run(false, false, 1);
+  for (int threads : {1, 3}) {
+    for (bool scheduled : {false, true}) {
+      const auto got = run(true, scheduled, threads);
+      // Transcripts and outputs identical; under scheduling only visits may
+      // shrink (and must match the non-relabeled scheduled run exactly).
+      EXPECT_EQ(std::get<0>(got), std::get<0>(want))
+          << "threads=" << threads << " scheduled=" << scheduled;
+      EXPECT_EQ(std::get<1>(got), std::get<1>(want))
+          << "threads=" << threads << " scheduled=" << scheduled;
+      if (scheduled) {
+        const auto plain_scheduled = run(false, true, 1);
+        EXPECT_EQ(std::get<2>(got), std::get<2>(plain_scheduled))
+            << "threads=" << threads;
+      } else {
+        EXPECT_EQ(std::get<2>(got), std::get<2>(want))
+            << "threads=" << threads;
+      }
+    }
+  }
+}
+
+// Checkpoints cross the relabel boundary in both directions: a snapshot is
+// canonically external-indexed, so a relabeled batch's checkpoint resumed
+// on a plain batch (and vice versa) must finish bit-identically to the
+// uninterrupted plain run — this pins the Checkpoint gather, the
+// ApplySnapshot scatter, and the rank-order worklist rebuild.
+TEST(BatchNetworkRelabel, CheckpointCrossesRelabelBoundary) {
+  const int n = 220;
+  const std::vector<int> ks = {2, 5, 3};
+  Graph tree = UniformRandomTree(n, 2400);
+  auto ids = DefaultIds(n, 2401);
+  const int B = static_cast<int>(ks.size());
+  constexpr int kMaxRounds = 1000;
+
+  auto make_algs = [&](std::vector<std::unique_ptr<Algorithm>>& own) {
+    std::vector<Algorithm*> ptrs;
+    for (int k : ks) {
+      own.push_back(MakeRakeCompressAlgorithm(tree, k));
+      ptrs.push_back(own.back().get());
+    }
+    return ptrs;
+  };
+
+  // Uninterrupted plain-batch reference transcript.
+  std::vector<uint64_t> want_digests;
+  std::vector<int> want_rounds;
+  std::vector<int64_t> want_messages;
+  {
+    std::vector<std::unique_ptr<Algorithm>> own;
+    BatchNetwork net(tree, ids, B);
+    want_rounds = net.Run(make_algs(own), kMaxRounds);
+    for (int b = 0; b < B; ++b) {
+      want_digests.push_back(net.last_digest(b));
+      want_messages.push_back(net.messages_delivered(b));
+    }
+  }
+
+  NetworkOptions plain, relabel;
+  relabel.relabel = true;
+  for (int pause : {1, 4}) {
+    for (bool src_relabel : {false, true}) {
+      SCOPED_TRACE("pause=" + std::to_string(pause) +
+                   " src_relabel=" + std::to_string(src_relabel));
+      std::string bytes;
+      {
+        std::vector<std::unique_ptr<Algorithm>> own;
+        BatchNetwork src(tree, ids, B, 1, src_relabel ? relabel : plain);
+        src.RunUntil(make_algs(own), kMaxRounds, pause);
+        ASSERT_TRUE(src.paused());
+        std::ostringstream out;
+        src.Checkpoint(out);
+        bytes = out.str();
+      }
+      std::vector<std::unique_ptr<Algorithm>> own;
+      BatchNetwork dst(tree, ids, B, 1, src_relabel ? plain : relabel);
+      std::istringstream in(bytes);
+      dst.Resume(in);
+      EXPECT_EQ(dst.Run(make_algs(own), kMaxRounds), want_rounds);
+      for (int b = 0; b < B; ++b) {
+        EXPECT_EQ(dst.last_digest(b), want_digests[b]) << "instance " << b;
+        EXPECT_EQ(dst.messages_delivered(b), want_messages[b])
+            << "instance " << b;
+      }
+    }
+  }
 }
 
 }  // namespace
