@@ -1,7 +1,9 @@
 #include "src/algos/linial.h"
 
+#include <bit>
 #include <cassert>
 #include <stdexcept>
+#include <vector>
 
 #include "src/local/parallel_network.h"
 #include "src/local/reference_network.h"
@@ -31,22 +33,89 @@ LinialStep ChooseStep(int64_t m, int max_degree) {
   }
 }
 
-// Evaluate the polynomial whose coefficients are the base-q digits of c,
-// at point x, over F_q.
-int64_t EvalPoly(int64_t c, int64_t q, int d, int64_t x) {
-  // Horner over the digits, highest first.
-  int64_t digits[70];
-  int count = 0;
+// Base-q digits of c (the polynomial's coefficients), lowest first, into
+// out[0..d]. Extracted ONCE per color per step instead of once per
+// (color, x) evaluation — the d+1 integer divisions were the old
+// EvalPoly's dominant cost.
+void ExtractDigits(int64_t c, int64_t q, int d, int64_t* out) {
   int64_t rem = c;
   for (int i = 0; i <= d; ++i) {
-    digits[count++] = rem % q;
+    out[i] = rem % q;
     rem /= q;
   }
+}
+
+// Horner evaluation over cached digits at point x, over F_q.
+int64_t EvalDigits(const int64_t* digits, int d, int64_t q, int64_t x) {
   int64_t acc = 0;
-  for (int i = count - 1; i >= 0; --i) {
+  for (int i = d; i >= 0; --i) {
     acc = (acc * x + digits[i]) % q;
   }
   return acc;
+}
+
+// One Linial set-system membership step for a node: the smallest x in
+// [0, q) where no neighbor's polynomial agrees with ours, returned as the
+// new color chosen_x * q + eval(chosen_x). Semantics are exactly the old
+// per-(x, neighbor) EvalPoly scan; the implementation is restructured:
+//   * fast probe at x = 0 — eval(c, 0) is just c % q, and with distinct
+//     neighbor colors x = 0 is usually free, so the common case is one
+//     division per neighbor and no digit extraction at all;
+//   * otherwise, word-wide blocked-point masks: each neighbor's agreeing
+//     points are set bits in a chunked 64-bit mask over x (a nonzero
+//     difference polynomial of degree <= d has at most d roots, so each
+//     neighbor's scan stops after d hits), and the chosen x is the mask's
+//     first zero via countr_one — the same first-free-point answer without
+//     re-walking all neighbors per candidate x.
+int64_t LinialChooseColor(int64_t color, const LinialStep& step,
+                          const int64_t* nbr, int nbr_count) {
+  const int64_t q = step.q;
+  const int d = step.d;
+  const int64_t mine0 = color % q;
+  bool x0_free = true;
+  for (int i = 0; i < nbr_count && x0_free; ++i) {
+    x0_free = nbr[i] % q != mine0;
+  }
+  if (x0_free) return mine0;  // chosen_x = 0: new color = 0 * q + eval(0)
+
+  int64_t mine_digits[70], nbr_digits[70];
+  ExtractDigits(color, q, d, mine_digits);
+  thread_local std::vector<int64_t> mine_eval;
+  mine_eval.resize(static_cast<size_t>(q));
+  for (int64_t x = 0; x < q; ++x) {
+    mine_eval[x] = EvalDigits(mine_digits, d, q, x);
+  }
+  const int nwords = static_cast<int>((q + 63) / 64);
+  thread_local std::vector<uint64_t> blocked;
+  blocked.assign(nwords, 0ull);
+  for (int i = 0; i < nbr_count; ++i) {
+    if (nbr[i] == color) {
+      // A duplicate color agrees everywhere — every point is blocked, as
+      // the per-x scan would have concluded.
+      throw std::logic_error("Linial step found no free point");
+    }
+    ExtractDigits(nbr[i], q, d, nbr_digits);
+    int hits = 0;
+    for (int64_t x = 0; x < q; ++x) {
+      if (EvalDigits(nbr_digits, d, q, x) == mine_eval[x]) {
+        blocked[x >> 6] |= 1ull << (x & 63);
+        if (++hits == d) break;  // <= d roots: nothing further to find
+      }
+    }
+  }
+  for (int w = 0; w < nwords; ++w) {
+    uint64_t m = blocked[w];
+    if (w == nwords - 1 && (q & 63) != 0) {
+      m |= ~0ull << (q & 63);  // pad past q so countr_one cannot overshoot
+    }
+    const int z = std::countr_one(m);
+    if (z < 64) {
+      const int64_t x = static_cast<int64_t>(w) * 64 + z;
+      return x * q + mine_eval[x];
+    }
+  }
+  // Impossible when q > Delta*d: at most Delta*d points are blocked.
+  throw std::logic_error("Linial step found no free point");
 }
 
 // Per-node state, engine-managed: just the current color.
@@ -89,25 +158,16 @@ class InducedLinialAlgorithm : public local::Algorithm {
     const int begin = ports_->offset[v], end = ports_->offset[v + 1];
     if (r >= 1) {
       const LinialStep& step = schedule_.steps[r - 1];
-      int64_t q = step.q;
-      int64_t chosen_x = -1;
-      for (int64_t x = 0; x < q && chosen_x < 0; ++x) {
-        int64_t mine = EvalPoly(st.color, q, step.d, x);
-        bool ok = true;
-        for (int i = begin; i < end; ++i) {
-          const local::Message& msg = ctx.Recv(ports_->port[i]);
-          if (!msg.present()) continue;
-          if (EvalPoly(msg.word0, q, step.d, x) == mine) {
-            ok = false;
-            break;
-          }
-        }
-        if (ok) chosen_x = x;
+      // thread_local: OnRound runs concurrently across ParallelNetwork
+      // shards; each shard keeps its own scratch.
+      thread_local std::vector<int64_t> nbr;
+      nbr.clear();
+      for (int i = begin; i < end; ++i) {
+        const local::Message& msg = ctx.Recv(ports_->port[i]);
+        if (msg.present()) nbr.push_back(msg.word0);
       }
-      if (chosen_x < 0) {
-        throw std::logic_error("Linial step found no free point");
-      }
-      st.color = chosen_x * q + EvalPoly(st.color, q, step.d, chosen_x);
+      st.color = LinialChooseColor(st.color, step, nbr.data(),
+                                   static_cast<int>(nbr.size()));
     }
     if (r == static_cast<int>(schedule_.steps.size())) {
       ctx.Halt();
@@ -144,29 +204,17 @@ class LinialAlgorithm : public local::Algorithm {
     const int r = ctx.round();
     if (r >= 1) {
       const LinialStep& step = schedule_.steps[r - 1];
-      // Collect neighbor colors (their broadcast from last round).
-      int64_t q = step.q;
-      // Blocked evaluation points: x where some neighbor's polynomial
-      // agrees with ours.
-      int64_t chosen_x = -1;
-      for (int64_t x = 0; x < q && chosen_x < 0; ++x) {
-        int64_t mine = EvalPoly(st.color, q, step.d, x);
-        bool ok = true;
-        for (int p = 0; p < ctx.degree(); ++p) {
-          const local::Message& msg = ctx.Recv(p);
-          if (!msg.present()) continue;
-          if (EvalPoly(msg.word0, q, step.d, x) == mine) {
-            ok = false;
-            break;
-          }
-        }
-        if (ok) chosen_x = x;
+      // Collect neighbor colors (their broadcast from last round); the
+      // scratch is thread_local because OnRound runs concurrently across
+      // ParallelNetwork shards.
+      thread_local std::vector<int64_t> nbr;
+      nbr.clear();
+      for (int p = 0; p < ctx.degree(); ++p) {
+        const local::Message& msg = ctx.Recv(p);
+        if (msg.present()) nbr.push_back(msg.word0);
       }
-      if (chosen_x < 0) {
-        // Impossible when q > Delta*d: at most Delta*d points are blocked.
-        throw std::logic_error("Linial step found no free point");
-      }
-      st.color = chosen_x * q + EvalPoly(st.color, q, step.d, chosen_x);
+      st.color = LinialChooseColor(st.color, step, nbr.data(),
+                                   static_cast<int>(nbr.size()));
     }
     if (r == static_cast<int>(schedule_.steps.size())) {
       ctx.Halt();

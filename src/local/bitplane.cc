@@ -1,0 +1,423 @@
+#include "src/local/bitplane.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace treelocal::local::bitplane {
+
+namespace {
+
+int BitLength(int64_t x) {
+  int bits = 0;
+  do {
+    ++bits;
+    x >>= 1;
+  } while (x > 0);
+  return bits;
+}
+
+}  // namespace
+
+void Transpose64(uint64_t w[64]) {
+  // Hacker's Delight block-swap transpose: swap the off-diagonal j x j
+  // blocks for j = 32, 16, ..., 1. Bit j of w[i] ends up as bit i of w[j].
+  // LSB-first orientation (bit index == column index), so the off-diagonal
+  // swap pairs w[k]'s HIGH half-block with w[k+j]'s LOW half-block — the
+  // MSB-first variant in Hacker's Delight pairs the other two blocks and
+  // transposes along the anti-diagonal in this convention.
+  uint64_t m = 0x00000000FFFFFFFFull;
+  for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const uint64_t t = ((w[k] >> j) ^ w[k + j]) & m;
+      w[k] ^= t << j;
+      w[k + j] ^= t;
+    }
+  }
+}
+
+int64_t CvStepScalar(int64_t mine, int64_t parent) {
+  const uint64_t diff = static_cast<uint64_t>(mine ^ parent);
+  assert(diff != 0);
+  const int i = std::countr_zero(diff);
+  return 2 * static_cast<int64_t>(i) + ((mine >> i) & 1);
+}
+
+int CvIterations(int64_t id_space) {
+  int64_t m = id_space;
+  int iterations = 0;
+  while (m > 6) {
+    m = 2 * BitLength(m - 1);
+    ++iterations;
+    assert(iterations < 64);
+  }
+  return iterations;
+}
+
+void CvStepLanes(const int64_t* mine, const int64_t* parent, int64_t* out,
+                 int count) {
+  int l = 0;
+  while (count - l >= kCvLanesPlaneThreshold) {
+    const int c = std::min(64, count - l);
+    // Transpose the lane block into planes, run the carry-chain
+    // lowest-differing-bit select once for all c lanes, transpose back.
+    uint64_t mp[64], dp[64];
+    for (int j = 0; j < c; ++j) {
+      mp[j] = static_cast<uint64_t>(mine[l + j]);
+      dp[j] = static_cast<uint64_t>(mine[l + j] ^ parent[l + j]);
+    }
+    for (int j = c; j < 64; ++j) mp[j] = dp[j] = 0;
+    Transpose64(mp);
+    Transpose64(dp);
+    uint64_t carry = ~0ull, bitv = 0;
+    uint64_t idx[6] = {0, 0, 0, 0, 0, 0};
+    for (int p = 0; p < 64; ++p) {
+      const uint64_t sel = dp[p] & carry;
+      if (sel == 0) continue;
+      carry &= ~dp[p];
+      bitv |= sel & mp[p];
+      for (int j = 0; j < 6; ++j) {
+        if ((p >> j) & 1) idx[j] |= sel;
+      }
+    }
+    uint64_t rp[64];
+    rp[0] = bitv;
+    for (int j = 0; j < 6; ++j) rp[1 + j] = idx[j];
+    for (int p = 7; p < 64; ++p) rp[p] = 0;
+    Transpose64(rp);
+    for (int j = 0; j < c; ++j) out[l + j] = static_cast<int64_t>(rp[j]);
+    l += c;
+  }
+  for (; l < count; ++l) out[l] = CvStepScalar(mine[l], parent[l]);
+}
+
+int FirstMissingColor(const int64_t* forbidden, int count) {
+  // First-fit never exceeds count+1 colors, so a mask of bits 0..count
+  // (bit c-1 = "color c is forbidden") decides the answer; forbidden
+  // values outside [1, count+1] cannot be the first free color's blocker.
+  const int bits = count + 1;
+  const int words = (bits + 63) / 64;
+  uint64_t stack_mask[8];
+  thread_local std::vector<uint64_t> heap_mask;
+  uint64_t* mask;
+  if (words <= 8) {
+    mask = stack_mask;
+    std::fill_n(mask, words, 0ull);
+  } else {
+    heap_mask.assign(words, 0ull);
+    mask = heap_mask.data();
+  }
+  for (int i = 0; i < count; ++i) {
+    const int64_t c = forbidden[i];
+    if (c >= 1 && c <= bits) {
+      mask[(c - 1) >> 6] |= 1ull << ((c - 1) & 63);
+    }
+  }
+  for (int w = 0; w < words; ++w) {
+    const int z = std::countr_one(mask[w]);
+    // The last word's bits above `bits` are zero and only `count` bits can
+    // be set in total, so a zero bit always exists at index <= count.
+    if (z < 64) return w * 64 + z + 1;
+  }
+  return bits;  // unreachable: the mask has at most `count` of `bits` set
+}
+
+BitplaneCvBatch::BitplaneCvBatch(const Graph& forest, std::vector<int> parent)
+    : graph_(&forest), parent_(std::move(parent)) {
+  if (static_cast<int>(parent_.size()) != forest.NumNodes()) {
+    throw std::invalid_argument("BitplaneCvBatch: parent size mismatch");
+  }
+  for (int v = 0; v < forest.NumNodes(); ++v) {
+    if (parent_[v] >= 0 && forest.PortOf(v, parent_[v]) < 0) {
+      throw std::invalid_argument("BitplaneCvBatch: parent is not a neighbor");
+    }
+  }
+}
+
+std::vector<CvInstanceTranscript> BitplaneCvBatch::Run(
+    const std::vector<std::vector<int64_t>>& ids,
+    const std::vector<int64_t>& id_space) {
+  const Graph& g = *graph_;
+  const int n = g.NumNodes();
+  const int batch = static_cast<int>(ids.size());
+  if (batch < 1) {
+    throw std::invalid_argument("BitplaneCvBatch::Run: empty batch");
+  }
+  if (id_space.size() != ids.size()) {
+    throw std::invalid_argument("BitplaneCvBatch::Run: id_space size");
+  }
+  for (int b = 0; b < batch; ++b) {
+    if (static_cast<int>(ids[b].size()) != n) {
+      throw std::invalid_argument("BitplaneCvBatch::Run: ids size");
+    }
+    if (id_space[b] < 1) {
+      throw std::invalid_argument("BitplaneCvBatch::Run: id_space < 1");
+    }
+    for (int v = 0; v < n; ++v) {
+      if (ids[b][v] < 0 || ids[b][v] >= id_space[b]) {
+        throw std::invalid_argument(
+            "BitplaneCvBatch::Run: id outside [0, id_space)");
+      }
+    }
+  }
+
+  std::vector<CvInstanceTranscript> result(batch);
+  if (n == 0) return result;  // the engines return without executing a round
+
+  const int words = (batch + 63) / 64;
+
+  // Per-lane schedules: K_b CV steps, then 3 blocks of (shift-down,
+  // recolor), halting at the block-2 recolor — rounds 0..K_b+6.
+  std::vector<int> k(batch), lane_rounds(batch);
+  int max_rounds = 0;
+  for (int b = 0; b < batch; ++b) {
+    k[b] = CvIterations(id_space[b]);
+    lane_rounds[b] = k[b] + 7;
+    max_rounds = std::max(max_rounds, lane_rounds[b]);
+  }
+
+  // Global plane count AFTER each round: the max over live lanes of the CV
+  // color width (shrinks monotonically from BitLength(id_space-1) down to
+  // 3), floored at 3 so the phase kernels can read planes 0..2 of any lane
+  // (halted lanes' final colors are 2 bits). Entry r-1 is round r's read
+  // stride, entry r its write stride.
+  std::vector<int> width_after(max_rounds, 3);
+  for (int b = 0; b < batch; ++b) {
+    int64_t m = id_space[b];
+    int w = BitLength(m - 1);
+    for (int r = 0; r < lane_rounds[b]; ++r) {
+      if (r >= 1 && r <= k[b]) {
+        m = 2 * BitLength(m - 1);
+        w = BitLength(m - 1);
+      } else if (r > k[b]) {
+        w = 3;
+      }
+      width_after[r] = std::max(width_after[r], w);
+    }
+  }
+  for (int r = 1; r < max_rounds; ++r) {
+    assert(width_after[r] <= width_after[r - 1]);
+  }
+  const int p0 = width_after[0];
+
+  const size_t cap =
+      static_cast<size_t>(n) * static_cast<size_t>(p0) * words;
+  if (prev_.size() < cap) prev_.resize(cap);
+  if (next_.size() < cap) next_.resize(cap);
+
+  // Transposed load: lane-major initial colors (the IDs) into per-node
+  // planes. tw[l] = lane (64w+l)'s value before the transpose, plane p of
+  // the group after it.
+  uint64_t tw[64];
+  for (int v = 0; v < n; ++v) {
+    uint64_t* planes = prev_.data() + static_cast<size_t>(v) * p0 * words;
+    for (int w = 0; w < words; ++w) {
+      const int lanes = std::min(64, batch - w * 64);
+      for (int l = 0; l < lanes; ++l) {
+        tw[l] = static_cast<uint64_t>(ids[w * 64 + l][v]);
+      }
+      for (int l = lanes; l < 64; ++l) tw[l] = 0;
+      Transpose64(tw);
+      for (int p = 0; p < p0; ++p) planes[p * words + w] = tw[p];
+    }
+  }
+
+  // Per-round lane masks (one bit per instance, `words` words each).
+  std::vector<uint64_t> step_m(words), shift_m(words), recolor_m(words),
+      t0(words), t1(words), t2(words);
+
+  // Round 0 is broadcast-only (no color changes); the round loop starts at
+  // 1 with prev_ holding the after-round-0 colors.
+  for (int r = 1; r < max_rounds; ++r) {
+    std::fill(step_m.begin(), step_m.end(), 0ull);
+    std::fill(shift_m.begin(), shift_m.end(), 0ull);
+    std::fill(recolor_m.begin(), recolor_m.end(), 0ull);
+    std::fill(t0.begin(), t0.end(), 0ull);
+    std::fill(t1.begin(), t1.end(), 0ull);
+    std::fill(t2.begin(), t2.end(), 0ull);
+    bool any_step = false, any_recolor = false;
+    for (int b = 0; b < batch; ++b) {
+      if (r >= lane_rounds[b]) continue;  // lane's instance has halted
+      const uint64_t bit = 1ull << (b & 63);
+      const int w = b >> 6;
+      if (r <= k[b]) {
+        step_m[w] |= bit;
+        any_step = true;
+      } else {
+        const int phase = r - k[b] - 1;  // 0..5
+        if (phase % 2 == 0) {
+          shift_m[w] |= bit;
+        } else {
+          recolor_m[w] |= bit;
+          any_recolor = true;
+          const int64_t target = 5 - phase / 2;
+          if (target & 1) t0[w] |= bit;
+          if (target & 2) t1[w] |= bit;
+          if (target & 4) t2[w] |= bit;
+        }
+      }
+    }
+
+    const int sp = width_after[r - 1];
+    const int sn = width_after[r];
+    const int ibits = BitLength(sp - 1);
+    assert(!any_step || 1 + ibits <= sn);
+    const uint64_t* prev = prev_.data();
+    uint64_t* next = next_.data();
+    for (int v = 0; v < n; ++v) {
+      const uint64_t* mine = prev + static_cast<size_t>(v) * sp * words;
+      const int par = parent_[v];
+      const uint64_t* pcol =
+          par >= 0 ? prev + static_cast<size_t>(par) * sp * words : nullptr;
+      uint64_t* out = next + static_cast<size_t>(v) * sn * words;
+      for (int w = 0; w < words; ++w) {
+        const uint64_t sm = step_m[w], hm = shift_m[w], rm = recolor_m[w];
+        const uint64_t act = sm | hm | rm;
+        uint64_t res[64];
+        // Halted lanes carry their final colors through unchanged.
+        for (int p = 0; p < sn; ++p) res[p] = mine[p * words + w] & ~act;
+
+        if (sm != 0) {
+          // CV step: select the lowest differing bit per lane with a carry
+          // chain over the diff planes, then re-encode new = 2i + bit_i.
+          // Roots use the virtual parent mine^1: plane 0 flipped.
+          uint64_t carry = ~0ull, bitv = 0;
+          uint64_t idx[6] = {0, 0, 0, 0, 0, 0};
+          for (int p = 0; p < sp; ++p) {
+            const uint64_t mp = mine[p * words + w];
+            const uint64_t pp =
+                pcol != nullptr ? pcol[p * words + w] : (p == 0 ? ~mp : mp);
+            const uint64_t d = mp ^ pp;
+            const uint64_t sel = d & carry;
+            if (sel == 0) continue;
+            carry &= ~d;
+            bitv |= sel & mp;
+            for (int j = 0; j < ibits; ++j) {
+              if ((p >> j) & 1) idx[j] |= sel;
+            }
+          }
+          res[0] |= bitv & sm;
+          for (int j = 0; j < ibits; ++j) res[1 + j] |= idx[j] & sm;
+        }
+
+        if (hm != 0) {
+          // Shift-down: adopt the parent's (post-previous-round) color;
+          // roots rotate (c+1)%3, a 3-bit boolean map exact on c in 0..5.
+          uint64_t s0, s1, s2;
+          if (pcol != nullptr) {
+            s0 = pcol[w];
+            s1 = pcol[words + w];
+            s2 = pcol[2 * words + w];
+          } else {
+            const uint64_t b0 = mine[w];
+            const uint64_t b1 = mine[words + w];
+            const uint64_t b2 = mine[2 * words + w];
+            s0 = ~b2 & ~(b0 ^ b1);
+            s1 = ~b1 & (b0 ^ b2);
+            s2 = 0;
+          }
+          res[0] |= s0 & hm;
+          res[1] |= s1 & hm;
+          res[2] |= s2 & hm;
+        }
+
+        if (rm != 0) {
+          // Recolor: lanes whose color equals the round's target pick the
+          // first of {0,1,2} no neighbor holds (staying put if all three
+          // are blocked, like the scalar loop); other lanes keep color.
+          const uint64_t m0 = mine[w];
+          const uint64_t m1 = mine[words + w];
+          const uint64_t m2 = mine[2 * words + w];
+          const uint64_t cond =
+              ~(m0 ^ t0[w]) & ~(m1 ^ t1[w]) & ~(m2 ^ t2[w]) & rm;
+          uint64_t b0 = 0, b1 = 0, b2 = 0;
+          if (cond != 0) {
+            for (const int u : g.Neighbors(v)) {
+              const uint64_t* uc =
+                  prev + static_cast<size_t>(u) * sp * words;
+              const uint64_t u0 = uc[w];
+              const uint64_t u1 = uc[words + w];
+              const uint64_t u2 = uc[2 * words + w];
+              const uint64_t low = ~u2 & ~u1;
+              b0 |= low & ~u0;
+              b1 |= low & u0;
+              b2 |= ~u2 & u1 & ~u0;
+            }
+          }
+          const uint64_t take0 = cond & ~b0;
+          const uint64_t take1 = cond & b0 & ~b1;
+          const uint64_t take2 = cond & b0 & b1 & ~b2;
+          const uint64_t changed = take0 | take1 | take2;
+          res[0] |= (m0 & rm & ~changed) | take1;
+          res[1] |= (m1 & rm & ~changed) | take2;
+          res[2] |= m2 & rm & ~changed;
+        }
+
+        for (int p = 0; p < sn; ++p) out[p * words + w] = res[p];
+      }
+    }
+    std::swap(prev_, next_);
+    (void)any_recolor;
+  }
+
+  // Synthesized transcripts. Every live node broadcasts on every port each
+  // round except its final one (the block-2 recolor halts before the
+  // broadcast), and all nodes of an instance halt in that same round — so
+  // instance b's per-round stats are {n, 2m} for rounds 0..K_b+5 and
+  // {n, 0} at round K_b+6, with the level-0 digest chain over exactly
+  // those counters. visits == decisions == n on both engine paths (dense:
+  // every visit broadcasts or halts).
+  const int64_t sent_per_round = 2 * static_cast<int64_t>(g.NumEdges());
+  for (int b = 0; b < batch; ++b) {
+    CvInstanceTranscript& t = result[b];
+    t.rounds = lane_rounds[b];
+    t.round_stats.reserve(lane_rounds[b]);
+    t.round_digests.reserve(lane_rounds[b]);
+    uint64_t d = support::kDigestSeed;
+    for (int r = 0; r < lane_rounds[b]; ++r) {
+      const int64_t sent = r == lane_rounds[b] - 1 ? 0 : sent_per_round;
+      RoundStats rs;
+      rs.active_nodes = n;
+      rs.messages_sent = sent;
+      rs.visits = n;
+      rs.decisions = n;
+      t.round_stats.push_back(rs);
+      t.messages += sent;
+      d = support::ChainDigest(d, n, sent, 0);
+      t.round_digests.push_back(d);
+    }
+    t.last_digest = d;
+  }
+
+  // Transposed store: extract each lane's final colors from the planes.
+  const int sf = width_after[max_rounds - 1];
+  for (int b = 0; b < batch; ++b) result[b].colors.resize(n);
+  for (int v = 0; v < n; ++v) {
+    const uint64_t* planes =
+        prev_.data() + static_cast<size_t>(v) * sf * words;
+    for (int w = 0; w < words; ++w) {
+      for (int p = 0; p < 64; ++p) {
+        tw[p] = p < sf ? planes[p * words + w] : 0ull;
+      }
+      Transpose64(tw);
+      const int lanes = std::min(64, batch - w * 64);
+      for (int l = 0; l < lanes; ++l) {
+        result[w * 64 + l].colors[v] = static_cast<int>(tw[l]);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<CvInstanceTranscript> RunColeVishkinBitplaneBatch(
+    const Graph& forest, const std::vector<int>& parent,
+    const std::vector<std::vector<int64_t>>& ids,
+    const std::vector<int64_t>& id_space) {
+  BitplaneCvBatch runner(forest, parent);
+  return runner.Run(ids, id_space);
+}
+
+}  // namespace treelocal::local::bitplane

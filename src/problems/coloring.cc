@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/local/bitplane.h"
+
 namespace treelocal {
 
 bool ColoringProblem::NodeConfigOk(std::span<const Label> labels) const {
@@ -40,12 +42,11 @@ void ColoringProblem::SequentialAssign(const Graph& g, int v,
     Label l = h.Get(e, u);
     if (l != kUnsetLabel) forbidden.push_back(l);
   }
-  std::sort(forbidden.begin(), forbidden.end());
-  int64_t c = 1;
-  for (int64_t f : forbidden) {
-    if (f == c) ++c;
-    else if (f > c) break;
-  }
+  // First-fit via chunked bitmask + countr_one first-zero scan instead of
+  // sort + linear walk (local::bitplane::FirstMissingColor): O(deg) with no
+  // comparison sort in the class sweep's hottest per-node call.
+  const int64_t c = local::bitplane::FirstMissingColor(
+      forbidden.data(), static_cast<int>(forbidden.size()));
   // |forbidden| <= deg(v), so c <= deg(v)+1 <= Delta+1: within both bounds.
   for (int e : g.IncidentEdges(v)) {
     if (h.Get(e, v) == kUnsetLabel) h.Set(e, v, c);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "src/local/bitplane.h"
+
 namespace treelocal {
 
 bool EdgeColoringProblem::NodeConfigOk(std::span<const Label> labels) const {
@@ -77,12 +79,11 @@ void EdgeColoringProblem::SequentialAssignEdge(const Graph& g, int e,
   forbidden.reserve(static_cast<size_t>(g.Degree(v1)) + g.Degree(v2));
   int used1 = AppendUsedColorsAt(g, v1, h, forbidden);
   int used2 = AppendUsedColorsAt(g, v2, h, forbidden);
-  std::sort(forbidden.begin(), forbidden.end());
-  int64_t c = 1;
-  for (int64_t f : forbidden) {
-    if (f == c) ++c;
-    else if (f > c) break;
-  }
+  // First-fit via chunked bitmask + countr_one first-zero scan
+  // (local::bitplane::FirstMissingColor) — the sort + linear walk this
+  // replaces was the edge sweeps' per-edge O(deg log deg) inner loop.
+  const int64_t c = local::bitplane::FirstMissingColor(
+      forbidden.data(), static_cast<int>(forbidden.size()));
   // Lemma 16: c <= |used1| + |used2| + 1, so with a_i = |used_i| + 1 the
   // edge constraint a1 + a2 >= c + 1 holds automatically.
   int64_t a1 = used1 + 1;

@@ -140,6 +140,16 @@ Status Dispatcher::Submit(const ResidentGraph* graph, const SolveSpec& spec,
       *error = "daemon is shutting down";
       return Status::kShuttingDown;
     }
+    if (queue_.size() >= static_cast<size_t>(std::max(0, options_.max_queue))) {
+      // Bounded admission: reject rather than enqueue without limit. The
+      // depth in the message is the retry signal — the client should back
+      // off until a Fetch/Stats shows the queue draining.
+      ++rejected_;
+      *error = "admission queue full (" + std::to_string(queue_.size()) +
+               " queued, cap " + std::to_string(options_.max_queue) +
+               "); retry after the queue drains";
+      return Status::kRejected;
+    }
     t->id = next_ticket_++;
     tickets_.emplace(t->id, t);
     queue_.push_back(t);
@@ -191,6 +201,7 @@ void Dispatcher::FillStats(ServerStats* stats) const {
   stats->completed = completed_;
   stats->failed = failed_;
   stats->cancelled = cancelled_;
+  stats->rejected = rejected_;
   stats->batches = batches_;
   stats->batched_requests = batched_requests_;
   stats->max_batch = max_batch_seen_;

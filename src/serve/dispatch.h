@@ -49,6 +49,13 @@ class Dispatcher {
     int max_batch = 16;     // widest coalesced pass
     int slice_rounds = 64;  // RunUntil pause cadence (cancel latency bound)
     int engine_threads = 1;
+    // Admission cap: a Submit that would grow the queue past this bound is
+    // bounced with Status::kRejected (and counted in stats.rejected)
+    // instead of being enqueued — backpressure surfaces to the client as a
+    // structured retry signal rather than unbounded daemon memory. A cap of
+    // 0 rejects every solve whose queue slot is not already free (i.e. all
+    // of them), which the tests use for deterministic full-queue coverage.
+    int max_queue = 1024;
     // Deterministic fault injection into the coalesced engine pass (the
     // bench's negative control: an injected fault must surface as kFailed,
     // never as a wrong digest). Non-owning; null = no faults.
@@ -111,6 +118,7 @@ class Dispatcher {
   uint64_t completed_ = 0;
   uint64_t failed_ = 0;
   uint64_t cancelled_ = 0;
+  uint64_t rejected_ = 0;
   uint64_t batches_ = 0;
   uint64_t batched_requests_ = 0;
   uint64_t max_batch_seen_ = 0;

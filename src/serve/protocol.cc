@@ -31,6 +31,7 @@ const char* StatusName(Status s) {
     case Status::kUnknownTicket: return "unknown-ticket";
     case Status::kShuttingDown: return "shutting-down";
     case Status::kInternal: return "internal";
+    case Status::kRejected: return "rejected";
   }
   return "unknown";
 }
@@ -338,6 +339,7 @@ std::vector<uint8_t> EncodeStatsResponse(const ServerStats& s) {
   w.U64(s.completed);
   w.U64(s.failed);
   w.U64(s.cancelled);
+  w.U64(s.rejected);
   w.U64(s.batches);
   w.U64(s.batched_requests);
   w.U64(s.max_batch);
@@ -362,7 +364,7 @@ Status DecodeResponse(Op op, const uint8_t* payload, size_t size,
   ByteReader r(payload, size);
   const uint8_t status = r.U8();
   if (!r.ok()) return Status::kMalformedFrame;
-  if (status > static_cast<uint8_t>(Status::kInternal)) {
+  if (status > static_cast<uint8_t>(Status::kRejected)) {
     return Status::kMalformedFrame;
   }
   Response resp;
@@ -416,6 +418,7 @@ Status DecodeResponse(Op op, const uint8_t* payload, size_t size,
       resp.stats.completed = r.U64();
       resp.stats.failed = r.U64();
       resp.stats.cancelled = r.U64();
+      resp.stats.rejected = r.U64();
       resp.stats.batches = r.U64();
       resp.stats.batched_requests = r.U64();
       resp.stats.max_batch = r.U64();

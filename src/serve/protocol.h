@@ -56,6 +56,7 @@ enum class Status : uint8_t {
   kUnknownTicket = 7,
   kShuttingDown = 8,
   kInternal = 9,
+  kRejected = 10,  // admission queue full; retry after a drain
 };
 
 const char* StatusName(Status s);
@@ -130,6 +131,7 @@ struct ServerStats {
   uint64_t completed = 0;
   uint64_t failed = 0;
   uint64_t cancelled = 0;
+  uint64_t rejected = 0;          // solves bounced by the admission cap
   uint64_t batches = 0;           // dispatcher engine passes
   uint64_t batched_requests = 0;  // requests served by those passes
   uint64_t max_batch = 0;         // widest coalesced pass

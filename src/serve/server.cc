@@ -52,6 +52,7 @@ Server::Server(const Options& options) : options_(options) {
   dopt.max_batch = options.max_batch;
   dopt.slice_rounds = options.slice_rounds;
   dopt.engine_threads = options.engine_threads;
+  dopt.max_queue = options.max_queue;
   dopt.fault = options.fault;
   dispatcher_ = std::make_unique<Dispatcher>(&registry_, dopt);
   start_time_ = std::chrono::steady_clock::now();

@@ -38,6 +38,7 @@ class Server {
     int max_batch = 16;
     int slice_rounds = 64;
     int engine_threads = 1;
+    int max_queue = 1024;  // admission cap (see Dispatcher::Options)
     // Forwarded to the dispatcher's engine passes (bench negative control).
     support::FaultInjector* fault = nullptr;
   };

@@ -412,6 +412,114 @@ TEST_F(ServeConcurrentTest, BadRequestsAreStructured) {
   server_->Stop();
 }
 
+// A zero admission cap bounces every solve with the structured kRejected
+// status (never a dead connection, never a queue slot), and the rejection
+// is visible in stats without perturbing the request counters.
+TEST_F(ServeConcurrentTest, ZeroCapacityQueueRejectsAllSolves) {
+  Server::Options opt;
+  opt.max_queue = 0;
+  StartServer(opt);
+  const Graph tree = UniformRandomTree(64, 3);
+  auto c = Connect();
+  const uint64_t key = Register(*c, tree);
+
+  SolveSpec spec;
+  spec.k = 2;
+  uint64_t ticket = 0;
+  std::string error;
+  for (int i = 0; i < 3; ++i) {
+    error.clear();
+    EXPECT_FALSE(c->Solve(key, spec, &ticket, &error));
+    EXPECT_NE(error.find("rejected"), std::string::npos) << error;
+    EXPECT_NE(error.find("retry"), std::string::npos) << error;
+  }
+
+  ServerStats stats;
+  ASSERT_TRUE(c->Stats(&stats, &error)) << error;
+  EXPECT_EQ(stats.rejected, 3u);
+  EXPECT_EQ(stats.requests, 0u);  // rejected solves are never admitted
+  EXPECT_EQ(stats.queue_depth, 0u);
+
+  // The connection survived every rejection.
+  uint32_t version = 0;
+  EXPECT_TRUE(c->Ping(&version, &error)) << error;
+  server_->Stop();
+}
+
+// A finite cap under load: while a long head solve occupies the dispatcher,
+// floods past the cap bounce with kRejected; the admitted requests still
+// finish bit-identical to their solo runs, and once the queue drains new
+// submissions are accepted again (backpressure, not lockout).
+TEST_F(ServeConcurrentTest, FullQueueRejectsThenDrainsAndAccepts) {
+  Server::Options opt;
+  opt.max_queue = 2;
+  StartServer(opt);
+  const Graph big = UniformRandomTree(300000, 19);
+  const Graph small = UniformRandomTree(97, 21);
+  const Expected want = ExpectRake(small, 2);
+
+  auto c = Connect();
+  const uint64_t big_key = Register(*c, big);
+  const uint64_t small_key = Register(*c, small);
+
+  SolveSpec head;
+  head.k = 2;
+  uint64_t head_ticket = 0;
+  std::string error;
+  ASSERT_TRUE(c->Solve(big_key, head, &head_ticket, &error)) << error;
+
+  // Flood while the head runs. The queue admits at most max_queue = 2; the
+  // dispatcher may or may not have popped the head yet, so accepted is 1 or
+  // 2 and everything beyond the cap must come back kRejected.
+  constexpr int kFlood = 5;
+  std::vector<uint64_t> accepted;
+  int rejected = 0;
+  for (int i = 0; i < kFlood; ++i) {
+    SolveSpec spec;
+    spec.k = 2;
+    uint64_t ticket = 0;
+    error.clear();
+    if (c->Solve(small_key, spec, &ticket, &error)) {
+      accepted.push_back(ticket);
+    } else {
+      EXPECT_NE(error.find("rejected"), std::string::npos) << error;
+      ++rejected;
+    }
+  }
+  EXPECT_GE(accepted.size(), 1u);
+  EXPECT_LE(accepted.size(), 2u);
+  EXPECT_EQ(rejected, kFlood - static_cast<int>(accepted.size()));
+
+  // Admitted tickets are untouched by the rejections around them: each
+  // result is still bit-identical to the solo run.
+  for (uint64_t ticket : accepted) {
+    TicketState state;
+    SolveResult result;
+    std::string why;
+    ASSERT_TRUE(
+        c->Fetch(ticket, /*block=*/true, &state, &result, &why, &error))
+        << error;
+    ASSERT_EQ(state, TicketState::kDone) << why;
+    EXPECT_EQ(result.engine_rounds, want.engine_rounds);
+    EXPECT_EQ(result.messages, want.messages);
+    EXPECT_EQ(result.digest, want.digest);
+  }
+
+  // Drained queue: admission works again.
+  SolveSpec spec;
+  spec.k = 2;
+  SolveResult result;
+  ASSERT_TRUE(c->SolveAndWait(small_key, spec, &result, &error)) << error;
+  EXPECT_EQ(result.digest, want.digest);
+
+  ServerStats stats;
+  ASSERT_TRUE(c->Stats(&stats, &error)) << error;
+  EXPECT_EQ(stats.rejected, static_cast<uint64_t>(rejected));
+  EXPECT_EQ(stats.requests, 2 + accepted.size());  // head + admitted + drain
+  EXPECT_EQ(stats.queue_depth, 0u);
+  server_->Stop();
+}
+
 // Engine-threads > 1 must not change any answer (the ParallelBatchNetwork
 // determinism contract, now load-bearing for serving).
 TEST_F(ServeConcurrentTest, ShardedEngineBitIdentical) {
