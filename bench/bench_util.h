@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -24,6 +26,25 @@ inline double SecondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
 }
+
+// Resident-set sampling from /proc/self/status, for the out-of-core graph
+// benches' peak-RSS accounting (bench_graph_backend, graph_convert). Returns
+// 0 on platforms without procfs — consumers must treat 0 as "not measured",
+// never as "zero memory".
+inline int64_t ReadProcStatusKb(const char* key) {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  const size_t klen = std::strlen(key);
+  while (std::getline(in, line)) {
+    if (line.compare(0, klen, key) == 0) {
+      return std::strtoll(line.c_str() + klen, nullptr, 10) * 1024;
+    }
+  }
+  return 0;
+}
+inline int64_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS:"); }
+// High-water mark since process start (or the last VmHWM reset).
+inline int64_t PeakRssBytes() { return ReadProcStatusKb("VmHWM:"); }
 
 // The identity predicate behind every engine-vs-legacy bench gate: both
 // half-edge labelings of `g` must match slot for slot.

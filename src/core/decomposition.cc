@@ -25,12 +25,11 @@ struct DecompState {
 
 class DecompositionAlgorithm : public local::Algorithm {
  public:
-  DecompositionAlgorithm(const Graph& g, int b, int k)
-      : g_(&g), b_(b), k_(k) {}
+  DecompositionAlgorithm(GraphView g, int b, int k) : g_(g), b_(b), k_(k) {}
 
   size_t StateBytes() const override { return sizeof(DecompState); }
   void InitState(int node, void* state) override {
-    static_cast<DecompState*>(state)->unmarked_degree = g_->Degree(node);
+    static_cast<DecompState*>(state)->unmarked_degree = g_.Degree(node);
   }
 
   // Dense: an unmarked node broadcasts its degree every even round and
@@ -67,7 +66,7 @@ class DecompositionAlgorithm : public local::Algorithm {
   }
 
  private:
-  const Graph* g_;
+  GraphView g_;
   const int b_;
   const int k_;
 };
@@ -83,7 +82,7 @@ int DecompositionIterationBound(int64_t n, int a, int k) {
          1;
 }
 
-DecompositionResult RunDecomposition(const Graph& g,
+DecompositionResult RunDecomposition(GraphView g,
                                      const std::vector<int64_t>& ids, int a,
                                      int b, int k) {
   local::Network net(g, ids);  // constructs fine for 0 nodes
@@ -99,7 +98,7 @@ DecompositionResult RunDecompositionOnEngine(Engine& net, int a, int b,
   if (a < 1) throw std::invalid_argument("arboricity must be >= 1");
   if (b <= a) throw std::invalid_argument("need b > a");
   if (k < 5 * a) throw std::invalid_argument("need k >= 5a");
-  const Graph& g = net.graph();
+  const GraphView g = net.view();
   const std::vector<int64_t>& ids = net.ids();
   DecompositionResult result;
   if (g.NumNodes() == 0) return result;
@@ -127,27 +126,29 @@ DecompositionResult RunDecompositionOnEngine(Engine& net, int a, int b,
   // binary search: O((n + m) log Delta) total. The naive per-edge neighbor
   // rescan was O(sum_e deg(hi)) — quadratic on hub-heavy graphs (a
   // half-million-degree hub made million-node star unions infeasible).
-  result.atypical.assign(g.NumEdges(), 0);
+  result.atypical.assign(static_cast<size_t>(g.NumEdges()), 0);
   std::vector<int> sorted_layers;
   std::vector<int> offset(g.NumNodes() + 1, 0);
   sorted_layers.reserve(2 * static_cast<size_t>(g.NumEdges()));
   for (int v = 0; v < g.NumNodes(); ++v) {
     const size_t begin = sorted_layers.size();
-    for (int w : g.Neighbors(v)) sorted_layers.push_back(result.layer[w]);
+    g.ForEachNeighbor(
+        v, [&](int w) { sorted_layers.push_back(result.layer[w]); });
     std::sort(sorted_layers.begin() + begin, sorted_layers.end());
     offset[v + 1] = static_cast<int>(sorted_layers.size());
   }
-  for (int e = 0; e < g.NumEdges(); ++e) {
-    int lo = result.LowerEndpoint(g, e, ids);
-    int hi = g.OtherEndpoint(e, lo);
-    int i = result.layer[lo];
-    if (result.layer[hi] < i) continue;
+  g.ForEachEdge([&](int64_t e, int x, int y) {
+    const int lo = result.Lower(x, y, ids) ? x : y;
+    const int hi = lo == x ? y : x;
+    const int i = result.layer[lo];
+    if (result.layer[hi] < i) return;
     // # neighbors of hi with layer >= i.
     auto begin = sorted_layers.begin() + offset[hi];
     auto end = sorted_layers.begin() + offset[hi + 1];
-    int degree_hi = static_cast<int>(end - std::lower_bound(begin, end, i));
-    if (degree_hi > k) result.atypical[e] = 1;
-  }
+    const int degree_hi =
+        static_cast<int>(end - std::lower_bound(begin, end, i));
+    if (degree_hi > k) result.atypical[static_cast<size_t>(e)] = 1;
+  });
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 #include "src/local/network.h"
 
 namespace treelocal::local {
@@ -48,7 +49,10 @@ struct DecompositionResult {
   }
 };
 
-DecompositionResult RunDecomposition(const Graph& g,
+// Accepts either graph backend via the implicit GraphView conversions.
+// Note DecompositionResult::atypical is indexed by the backend's edge
+// numbering (Graph: input order; CompactGraph: (min, max)-sorted).
+DecompositionResult RunDecomposition(GraphView g,
                                      const std::vector<int64_t>& ids, int a,
                                      int b, int k);
 

@@ -30,11 +30,11 @@ struct RcState {
 
 class RakeCompressAlgorithm : public local::Algorithm {
  public:
-  RakeCompressAlgorithm(const Graph& g, int k) : g_(&g), k_(k) {}
+  RakeCompressAlgorithm(GraphView g, int k) : g_(g), k_(k) {}
 
   size_t StateBytes() const override { return sizeof(RcState); }
   void InitState(int node, void* state) override {
-    static_cast<RcState*>(state)->unmarked_degree = g_->Degree(node);
+    static_cast<RcState*>(state)->unmarked_degree = g_.Degree(node);
   }
 
   void OnRound(local::NodeContext& ctx) override {
@@ -88,7 +88,7 @@ class RakeCompressAlgorithm : public local::Algorithm {
     st.unmarked_degree -= marks;
   }
 
-  const Graph* g_;
+  GraphView g_;
   const int k_;
 };
 
@@ -98,7 +98,7 @@ int RakeCompressIterationBound(int64_t n, int k) {
   return CeilLogBase(n, k) + 1;
 }
 
-std::unique_ptr<local::Algorithm> MakeRakeCompressAlgorithm(const Graph& tree,
+std::unique_ptr<local::Algorithm> MakeRakeCompressAlgorithm(GraphView tree,
                                                             int k) {
   if (k < 2) throw std::invalid_argument("rake-compress requires k >= 2");
   return std::make_unique<RakeCompressAlgorithm>(tree, k);
@@ -112,7 +112,7 @@ int RakeCompressCanonicalK(int k, int max_degree) {
   return std::min(k, std::max(max_degree, 2));
 }
 
-RakeCompressResult RunRakeCompress(const Graph& tree,
+RakeCompressResult RunRakeCompress(GraphView tree,
                                    const std::vector<int64_t>& ids, int k) {
   if (tree.NumNodes() == 0) {
     if (k < 2) throw std::invalid_argument("rake-compress requires k >= 2");
@@ -129,7 +129,7 @@ namespace {
 template <typename Engine>
 RakeCompressResult RunRakeCompressOnEngine(Engine& net, int k) {
   if (k < 2) throw std::invalid_argument("rake-compress requires k >= 2");
-  const Graph& tree = net.graph();
+  const GraphView tree = net.view();
   RakeCompressResult result;
   if (tree.NumNodes() == 0) return result;
   RakeCompressAlgorithm alg(tree, k);
@@ -177,7 +177,7 @@ std::vector<RakeCompressResult> RunRakeCompressBatch(
   for (int k : ks) {
     if (k < 2) throw std::invalid_argument("rake-compress requires k >= 2");
   }
-  const Graph& tree = net.graph();
+  const GraphView tree = net.view();
   const int batch = net.batch();
   std::vector<RakeCompressResult> results(batch);
   if (tree.NumNodes() == 0) return results;
@@ -226,7 +226,7 @@ std::vector<RakeCompressResult> RunRakeCompressBatch(
 }
 
 std::vector<RakeCompressResult> RunRakeCompressBatchDeduped(
-    const Graph& tree, const std::vector<int64_t>& ids,
+    GraphView tree, const std::vector<int64_t>& ids,
     const std::vector<int>& ks, int num_threads) {
   for (int k : ks) {
     if (k < 2) throw std::invalid_argument("rake-compress requires k >= 2");
@@ -256,7 +256,7 @@ std::vector<RakeCompressResult> RunRakeCompressBatchDeduped(
   return results;
 }
 
-RakeCompressResult RunRakeCompressReference(const Graph& tree,
+RakeCompressResult RunRakeCompressReference(GraphView tree,
                                             const std::vector<int64_t>& ids,
                                             int k) {
   if (tree.NumNodes() == 0) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 #include "src/local/network.h"  // also forward-declares ReferenceNetwork
 
 namespace treelocal {
@@ -46,8 +47,9 @@ struct RakeCompressResult {
 };
 
 // `tree` must be a forest (every connected component is handled
-// independently, matching the paper's per-tree statement).
-RakeCompressResult RunRakeCompress(const Graph& tree,
+// independently, matching the paper's per-tree statement). Accepts either
+// graph backend via the implicit GraphView conversions.
+RakeCompressResult RunRakeCompress(GraphView tree,
                                    const std::vector<int64_t>& ids, int k);
 
 // Same process on a caller-owned engine (net.graph() must be a forest).
@@ -86,7 +88,7 @@ std::vector<RakeCompressResult> RunRakeCompressBatch(local::BatchNetwork& net,
 // entry for ks[i] — and therefore to the solo run — enforced by tests.
 // num_threads > 1 shards the deduped instance slices.
 std::vector<RakeCompressResult> RunRakeCompressBatchDeduped(
-    const Graph& tree, const std::vector<int64_t>& ids,
+    GraphView tree, const std::vector<int64_t>& ids,
     const std::vector<int>& ks, int num_threads = 1);
 
 // The dedup's canonicalization rule, shared with the benches: two
@@ -95,7 +97,7 @@ std::vector<RakeCompressResult> RunRakeCompressBatchDeduped(
 int RakeCompressCanonicalK(int k, int max_degree);
 
 // Convenience form constructing the reference engine internally.
-RakeCompressResult RunRakeCompressReference(const Graph& tree,
+RakeCompressResult RunRakeCompressReference(GraphView tree,
                                             const std::vector<int64_t>& ids,
                                             int k);
 
@@ -103,7 +105,7 @@ RakeCompressResult RunRakeCompressReference(const Graph& tree,
 // `tree` must outlive the returned object). For callers that need to drive
 // the engine directly — the standalone transcript verifier replays
 // checkpointed runs through this without any of the result plumbing.
-std::unique_ptr<local::Algorithm> MakeRakeCompressAlgorithm(const Graph& tree,
+std::unique_ptr<local::Algorithm> MakeRakeCompressAlgorithm(GraphView tree,
                                                             int k);
 
 // Paper bound on iterations (Lemma 9 / Algorithm 1 loop count).

@@ -9,48 +9,40 @@
 
 namespace treelocal {
 
-Graph Path(int n) {
-  std::vector<std::pair<int, int>> edges;
-  edges.reserve(std::max(0, n - 1));
-  for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
-  return Graph::FromEdges(n, std::move(edges));
+namespace {
+
+// Streamed per-family edge emitters. The eager Graph builders below and
+// MakeTreeStreamed both run on these, so the streamed edge sequence equals
+// the eager edge list by construction — the .cgr-vs-Graph parity gates
+// depend on that. None buffers the edge list; working state is noted where
+// it exceeds O(1).
+void PathEdges(int n, const EdgeSink& sink) {
+  for (int i = 0; i + 1 < n; ++i) sink(i, i + 1);
 }
 
-Graph Star(int n) {
-  std::vector<std::pair<int, int>> edges;
-  edges.reserve(std::max(0, n - 1));
-  for (int i = 1; i < n; ++i) edges.emplace_back(0, i);
-  return Graph::FromEdges(n, std::move(edges));
+void StarEdges(int n, const EdgeSink& sink) {
+  for (int i = 1; i < n; ++i) sink(0, i);
 }
 
-Graph BalancedRegularTree(int n, int delta) {
+// Level-order ids make the parent arithmetic: the root's delta children are
+// 1..delta, after which capacities are uniform delta - 1 and node i's
+// parent is (i - delta - 1) / (delta - 1) + 1 — the closed form of the old
+// BFS frontier walk, emitting the identical (parent, i) sequence.
+void BalancedEdges(int n, int delta, const EdgeSink& sink) {
   if (delta < 2) throw std::invalid_argument("delta must be >= 2");
-  std::vector<std::pair<int, int>> edges;
-  edges.reserve(std::max(0, n - 1));
-  // BFS construction: node 0 is the root with capacity delta; every later
-  // node has capacity delta - 1 children.
-  int next = 1;
-  std::vector<int> frontier = {0};
-  while (next < n && !frontier.empty()) {
-    std::vector<int> next_frontier;
-    for (int parent : frontier) {
-      int capacity = (parent == 0) ? delta : delta - 1;
-      for (int c = 0; c < capacity && next < n; ++c) {
-        edges.emplace_back(parent, next);
-        next_frontier.push_back(next);
-        ++next;
-      }
-      if (next >= n) break;
-    }
-    frontier = std::move(next_frontier);
+  for (int i = 1; i < n; ++i) {
+    const int parent = i <= delta ? 0 : (i - delta - 1) / (delta - 1) + 1;
+    sink(parent, i);
   }
-  return Graph::FromEdges(n, std::move(edges));
 }
 
-Graph UniformRandomTree(int n, uint64_t seed) {
-  if (n <= 2) return Path(std::max(n, 0));
+// Pruefer decoding; O(n) working state (degrees + leaf set), no edge list.
+void UniformEdges(int n, uint64_t seed, const EdgeSink& sink) {
+  if (n <= 2) {
+    PathEdges(std::max(n, 0), sink);
+    return;
+  }
   Rng rng(seed);
-  // Pruefer decoding.
   std::vector<int> prufer(n - 2);
   for (auto& x : prufer) x = static_cast<int>(rng.NextBelow(n));
   std::vector<int> degree(n, 1);
@@ -59,28 +51,69 @@ Graph UniformRandomTree(int n, uint64_t seed) {
   for (int v = 0; v < n; ++v) {
     if (degree[v] == 1) leaves.insert(v);
   }
-  std::vector<std::pair<int, int>> edges;
-  edges.reserve(n - 1);
   for (int x : prufer) {
     int leaf = *leaves.begin();
     leaves.erase(leaves.begin());
-    edges.emplace_back(leaf, x);
+    sink(leaf, x);
     if (--degree[x] == 1) leaves.insert(x);
   }
   int a = *leaves.begin();
   int b = *std::next(leaves.begin());
-  edges.emplace_back(a, b);
+  sink(a, b);
+}
+
+void RecursiveEdges(int n, uint64_t seed, const EdgeSink& sink) {
+  Rng rng(seed);
+  for (int i = 1; i < n; ++i) {
+    sink(static_cast<int>(rng.NextBelow(i)), i);
+  }
+}
+
+void CaterpillarEdges(int spine, int legs, const EdgeSink& sink) {
+  for (int i = 0; i + 1 < spine; ++i) sink(i, i + 1);
+  int next = spine;
+  for (int i = 0; i < spine; ++i) {
+    for (int l = 0; l < legs; ++l) sink(i, next++);
+  }
+}
+
+void BinaryEdges(int n, const EdgeSink& sink) {
+  for (int i = 1; i < n; ++i) sink((i - 1) / 2, i);
+}
+
+// Collects a streamed emitter into the eager Graph the builders return.
+template <typename Emitter>
+Graph CollectTree(int n, Emitter&& emitter) {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(std::max(0, n - 1));
+  emitter([&](int u, int v) { edges.emplace_back(u, v); });
   return Graph::FromEdges(n, std::move(edges));
 }
 
+}  // namespace
+
+Graph Path(int n) {
+  return CollectTree(n, [&](const EdgeSink& s) { PathEdges(n, s); });
+}
+
+Graph Star(int n) {
+  return CollectTree(n, [&](const EdgeSink& s) { StarEdges(n, s); });
+}
+
+Graph BalancedRegularTree(int n, int delta) {
+  return CollectTree(n,
+                     [&](const EdgeSink& s) { BalancedEdges(n, delta, s); });
+}
+
+Graph UniformRandomTree(int n, uint64_t seed) {
+  const int nodes = n <= 2 ? std::max(n, 0) : n;
+  return CollectTree(nodes,
+                     [&](const EdgeSink& s) { UniformEdges(n, seed, s); });
+}
+
 Graph RandomRecursiveTree(int n, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::pair<int, int>> edges;
-  edges.reserve(std::max(0, n - 1));
-  for (int i = 1; i < n; ++i) {
-    edges.emplace_back(static_cast<int>(rng.NextBelow(i)), i);
-  }
-  return Graph::FromEdges(n, std::move(edges));
+  return CollectTree(n,
+                     [&](const EdgeSink& s) { RecursiveEdges(n, seed, s); });
 }
 
 Graph BoundedDegreeRandomTree(int n, int max_degree, uint64_t seed) {
@@ -111,14 +144,8 @@ Graph BoundedDegreeRandomTree(int n, int max_degree, uint64_t seed) {
 
 Graph Caterpillar(int spine, int legs) {
   int n = spine * (legs + 1);
-  std::vector<std::pair<int, int>> edges;
-  edges.reserve(std::max(0, n - 1));
-  for (int i = 0; i + 1 < spine; ++i) edges.emplace_back(i, i + 1);
-  int next = spine;
-  for (int i = 0; i < spine; ++i) {
-    for (int l = 0; l < legs; ++l) edges.emplace_back(i, next++);
-  }
-  return Graph::FromEdges(n, std::move(edges));
+  return CollectTree(
+      n, [&](const EdgeSink& s) { CaterpillarEdges(spine, legs, s); });
 }
 
 Graph Spider(int legs, int leg_len) {
@@ -137,10 +164,7 @@ Graph Spider(int legs, int leg_len) {
 }
 
 Graph CompleteBinaryTree(int n) {
-  std::vector<std::pair<int, int>> edges;
-  edges.reserve(std::max(0, n - 1));
-  for (int i = 1; i < n; ++i) edges.emplace_back((i - 1) / 2, i);
-  return Graph::FromEdges(n, std::move(edges));
+  return CollectTree(n, [&](const EdgeSink& s) { BinaryEdges(n, s); });
 }
 
 Graph Grid(int rows, int cols) {
@@ -282,6 +306,49 @@ std::vector<TreeFamily> AllTreeFamilies() {
           TreeFamily::kBalanced3, TreeFamily::kBalanced8,
           TreeFamily::kUniform,   TreeFamily::kRecursive,
           TreeFamily::kCaterpillar, TreeFamily::kBinary};
+}
+
+int MakeTreeStreamed(TreeFamily family, int n, uint64_t seed,
+                     const EdgeSink& sink) {
+  switch (family) {
+    case TreeFamily::kPath:
+      PathEdges(n, sink);
+      return n;
+    case TreeFamily::kStar:
+      StarEdges(n, sink);
+      return n;
+    case TreeFamily::kBalanced3:
+      BalancedEdges(n, 3, sink);
+      return n;
+    case TreeFamily::kBalanced8:
+      BalancedEdges(n, 8, sink);
+      return n;
+    case TreeFamily::kUniform:
+      UniformEdges(n, seed, sink);
+      return n <= 2 ? std::max(n, 0) : n;
+    case TreeFamily::kRecursive:
+      RecursiveEdges(n, seed, sink);
+      return n;
+    case TreeFamily::kCaterpillar: {
+      const int spine = std::max(1, n / 4);
+      CaterpillarEdges(spine, 3, sink);
+      return spine * 4;
+    }
+    case TreeFamily::kBinary:
+      BinaryEdges(n, sink);
+      return n;
+  }
+  throw std::invalid_argument("unknown family");
+}
+
+void ForestUnionStreamed(int n, int a, uint64_t seed, const EdgeSink& sink) {
+  // Same per-tree seeds as ForestUnionParts; min-first normalization makes
+  // the emitted multiset's support exactly ForestUnion's edge set.
+  for (int f = 0; f < a; ++f) {
+    UniformEdges(n, seed * 1000003ULL + f, [&](int u, int v) {
+      sink(std::min(u, v), std::max(u, v));
+    });
+  }
 }
 
 }  // namespace treelocal

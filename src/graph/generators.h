@@ -2,6 +2,7 @@
 #define TREELOCAL_GRAPH_GENERATORS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,28 @@ enum class TreeFamily {
 Graph MakeTree(TreeFamily family, int n, uint64_t seed);
 std::string TreeFamilyName(TreeFamily family);
 std::vector<TreeFamily> AllTreeFamilies();
+
+// Callback receiving one undirected edge {u, v} of a generated workload.
+using EdgeSink = std::function<void(int u, int v)>;
+
+// Streaming form of MakeTree: emits the exact edge sequence
+// MakeTree(family, n, seed) would pass to Graph::FromEdges, one edge at a
+// time, without materializing the list — MakeTree itself is implemented on
+// top of this, so the two can never drift. Working state is O(n) for
+// kUniform (Pruefer decoding needs the degree array and leaf set) and O(1)
+// or O(frontier) for every other family; no O(m) edge buffer anywhere.
+// Returns the node count of the emitted graph (kCaterpillar rounds n to
+// spine * 4 exactly as MakeTree does). Feeding tools/graph_convert with
+// this is how a 10^8-edge .cgr gets built without a 10^8-entry edge list.
+int MakeTreeStreamed(TreeFamily family, int n, uint64_t seed,
+                     const EdgeSink& sink);
+
+// Streaming form of ForestUnion: emits every edge of each of the `a`
+// spanning trees in turn, normalized min-endpoint-first. Edges shared by
+// several trees are re-emitted once per tree — consumers needing the
+// deduplicated union (graph_convert's external sort collapses repeats)
+// must dedup; the resulting edge SET equals ForestUnion(n, a, seed)'s.
+void ForestUnionStreamed(int n, int a, uint64_t seed, const EdgeSink& sink);
 
 }  // namespace treelocal
 

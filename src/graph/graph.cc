@@ -6,11 +6,29 @@
 
 namespace treelocal {
 
+namespace internal {
+
+void ValidateEdgeCount(int64_t n, int64_t m) {
+  // offset_/nbr_/inc_ hold 2m half-edges behind int32 offsets and int
+  // indices; at m >= 2^30 the doubled count 2m overflows them.
+  constexpr int64_t kMaxEdges = int64_t{1} << 30;
+  if (m >= kMaxEdges) {
+    throw GraphLimitError(
+        "Graph: edge count " + std::to_string(m) + " (n = " +
+        std::to_string(n) + ") exceeds the uncompressed CSR limit of " +
+        std::to_string(kMaxEdges - 1) +
+        " edges (2m must fit int32 offsets); use the CompactGraph backend");
+  }
+}
+
+}  // namespace internal
+
 Graph Graph::FromEdges(int n, std::vector<std::pair<int, int>> edges) {
   if (n < 0) {
     throw std::invalid_argument("Graph::FromEdges: node count " +
                                 std::to_string(n) + " is negative");
   }
+  internal::ValidateEdgeCount(n, static_cast<int64_t>(edges.size()));
   Graph g;
   g.n_ = n;
   g.edge_u_.reserve(edges.size());

@@ -3,10 +3,27 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
 namespace treelocal {
+
+// Thrown when a graph exceeds a representation limit of a backend or
+// engine (e.g. 2m no longer fits the int32 CSR/channel indices). The
+// message names the offending count and the limit.
+class GraphLimitError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace internal {
+// The uncompressed CSR stores 2m half-edges in int-indexed vectors with
+// int32 offsets, so m must stay below 2^30. Separately callable so the
+// boundary is testable without allocating a 2^30-edge list. Throws
+// GraphLimitError naming the count.
+void ValidateEdgeCount(int64_t n, int64_t m);
+}  // namespace internal
 
 // Immutable simple undirected graph in CSR form.
 //
@@ -58,6 +75,13 @@ class Graph {
     return Degree(edge_u_[e]) + Degree(edge_v_[e]) - 2;
   }
   int MaxEdgeDegree() const;
+
+  // Heap footprint of the CSR arrays (offset_ + nbr_ + inc_ + edge_u_ +
+  // edge_v_) — the baseline the compressed backend is measured against.
+  size_t MemoryBytes() const {
+    return sizeof(int) * (offset_.size() + nbr_.size() + inc_.size() +
+                          edge_u_.size() + edge_v_.size());
+  }
 
  private:
   int n_ = 0;

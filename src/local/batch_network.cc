@@ -40,19 +40,19 @@ void AdviseHugePages(void* data, size_t bytes) {
 
 BatchNetwork::~BatchNetwork() = default;  // out of line: pending_resume_
 
-BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
+BatchNetwork::BatchNetwork(GraphView graph, std::vector<int64_t> ids,
                            int batch)
     : BatchNetwork(graph, std::move(ids), batch, 1) {}
 
-BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
+BatchNetwork::BatchNetwork(GraphView graph, std::vector<int64_t> ids,
                            int batch, int num_threads)
     : BatchNetwork(graph, std::move(ids), batch, num_threads,
                    NetworkOptions{}) {}
 
-BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
+BatchNetwork::BatchNetwork(GraphView graph, std::vector<int64_t> ids,
                            int batch, int num_threads,
                            const NetworkOptions& options)
-    : graph_(&graph),
+    : graph_(graph),
       ids_(std::move(ids)),
       batch_(batch),
       // Shards are whole instances, so more lanes than instances would idle;
@@ -63,6 +63,8 @@ BatchNetwork::BatchNetwork(const Graph& graph, std::vector<int64_t> ids,
   if (batch < 1) {
     throw std::invalid_argument("BatchNetwork batch must be >= 1");
   }
+  internal::ValidateChannelScale(graph.NumNodes(), graph.NumEdges(),
+                                 "BatchNetwork");
   digest_messages_ = options.digest_messages;
   fault_ = options.fault;
   wake_opt_ = options.wake_scheduling;
@@ -139,7 +141,7 @@ std::vector<int> BatchNetwork::RunUntil(const std::vector<Algorithm*>& algs,
   if (static_cast<int>(algs.size()) != batch_) {
     throw std::invalid_argument("BatchNetwork::Run needs one Algorithm per instance");
   }
-  const int n = graph_->NumNodes();
+  const int n = graph_.NumNodes();
   const int B = batch_;
   const int S = static_cast<int>(shards_.size());
 
@@ -243,10 +245,10 @@ std::vector<int> BatchNetwork::RunUntil(const std::vector<Algorithm*>& algs,
       // recv channel -> receiver EXTERNAL node (the wake/halt planes are
       // external-indexed; under relabel first_[v] already points into the
       // BFS-laid channel space, so this covers every channel either way).
-      chan_owner_.assign(static_cast<size_t>(2) * graph_->NumEdges(), 0);
+      chan_owner_.assign(static_cast<size_t>(2) * graph_.NumEdges(), 0);
       for (int v = 0; v < n; ++v) {
         const int lo = first_[v];
-        const int hi = lo + graph_->Degree(v);  // not first_[v + 1]: see
+        const int hi = lo + graph_.Degree(v);   // not first_[v + 1]: see
                                                 // BuildChanOwner on relabel
         for (int c = lo; c < hi; ++c) chan_owner_[c] = v;
       }
@@ -577,7 +579,7 @@ void BatchNetwork::Checkpoint(std::ostream& out) const {
         "BatchNetwork::Checkpoint: engine is not at a round boundary (pause "
         "with RunUntil or let a run finish first)");
   }
-  const int n = graph_->NumNodes();
+  const int n = graph_.NumNodes();
   const int B = batch_;
   SnapshotData snap;
   snap.engine_kind = SnapshotEngineKind::kBatchNetwork;
@@ -586,13 +588,12 @@ void BatchNetwork::Checkpoint(std::ostream& out) const {
   snap.batch = B;
   snap.round = round_;
   snap.n = n;
-  snap.m = graph_->NumEdges();
-  snap.graph_hash = GraphHash(*graph_);
+  snap.m = graph_.NumEdges();
+  snap.graph_hash = GraphHash(graph_);
   snap.ids_hash = IdsHash(ids_);
   snap.edges.reserve(static_cast<size_t>(snap.m));
-  for (int e = 0; e < graph_->NumEdges(); ++e) {
-    snap.edges.emplace_back(graph_->EdgeU(e), graph_->EdgeV(e));
-  }
+  graph_.ForEachEdge(
+      [&](int64_t, int u, int v) { snap.edges.emplace_back(u, v); });
   snap.ids = ids_;
   snap.instances.resize(static_cast<size_t>(B));
   for (int b = 0; b < B; ++b) {
@@ -646,7 +647,7 @@ void BatchNetwork::Checkpoint(std::ostream& out) const {
     // to its solo run.
     if (live_nodes_[b] > 0) {
       for (int v = 0; v < n; ++v) {
-        const int deg = graph_->Degree(v);
+        const int deg = graph_.Degree(v);
         for (int p = 0; p < deg; ++p) {
           const Message& m =
               inbox_[static_cast<size_t>(first_[v] + p) * B + b];
@@ -663,7 +664,7 @@ void BatchNetwork::Checkpoint(std::ostream& out) const {
 
 void BatchNetwork::Resume(std::istream& in) {
   SnapshotData snap = ReadSnapshot(in);
-  internal::ValidateForEngine(snap, *graph_, ids_, batch_, digest_messages_,
+  internal::ValidateForEngine(snap, graph_, ids_, batch_, digest_messages_,
                               "BatchNetwork");
   pending_resume_ = std::make_unique<SnapshotData>(std::move(snap));
   mid_run_ = false;
@@ -671,7 +672,7 @@ void BatchNetwork::Resume(std::istream& in) {
 }
 
 void BatchNetwork::ApplySnapshot(const SnapshotData& snap, size_t stride) {
-  const int n = graph_->NumNodes();
+  const int n = graph_.NumNodes();
   const int B = batch_;
   for (const auto& inst : snap.instances) {
     if (inst.state_stride != stride) {

@@ -29,11 +29,14 @@ namespace internal {
 
 // send_chan[first[v] + p] = channel of the reverse half-edge (u -> v)
 // where u = Neighbors(v)[p] — i.e. the receiver-side inbox slot a send on
-// (v, p) must land in. Built in O(n + m) via one pass that records, per
-// edge, the channels of its two half-edges. With `perm` the per-node
-// channel blocks are laid out in internal-rank order; the pairing logic is
-// unchanged because it keys on edge ids, not layout.
-void BuildChannelTables(const Graph& graph, const int* perm,
+// (v, p) must land in. Built in O(n + m) by one streaming adjacency pass
+// with NO edge ids (so it works identically over either graph backend):
+// scanning v ascending, u's lower neighbors arrive in ascending order and
+// — adjacency being sorted — occupy u's first ports in exactly that order,
+// so a per-node cursor names the reverse port of every (v, p) with u > v.
+// With `perm` the per-node channel blocks are laid out in internal-rank
+// order; the pairing is unchanged because it keys on (node, port).
+void BuildChannelTables(GraphView graph, const int* perm,
                         std::vector<int>& first, std::vector<int>& send_chan) {
   const int n = graph.NumNodes();
   first.resize(n + 1);
@@ -53,23 +56,22 @@ void BuildChannelTables(const Graph& graph, const int* perm,
   }
 
   send_chan.resize(2 * static_cast<size_t>(graph.NumEdges()));
-  std::vector<int> slot_u(graph.NumEdges(), -1);  // first-seen channel per edge
+  std::vector<int> cnt(n, 0);  // lower neighbors of u paired so far
   for (int v = 0; v < n; ++v) {
-    auto inc = graph.IncidentEdges(v);
-    for (int p = 0; p < static_cast<int>(inc.size()); ++p) {
-      const int e = inc[p];
-      const int slot = first[v] + p;
-      if (slot_u[e] < 0) {
-        slot_u[e] = slot;
-      } else {
-        send_chan[slot] = slot_u[e];
-        send_chan[slot_u[e]] = slot;
+    int p = 0;
+    graph.ForEachNeighbor(v, [&](int u) {
+      if (u > v) {
+        const int a = first[v] + p;
+        const int b = first[u] + cnt[u]++;
+        send_chan[a] = b;
+        send_chan[b] = a;
       }
-    }
+      ++p;
+    });
   }
 }
 
-std::vector<int> BfsOrder(const Graph& graph) {
+std::vector<int> BfsOrder(GraphView graph) {
   const int n = graph.NumNodes();
   std::vector<int> perm(n, -1);
   std::vector<int> queue;
@@ -81,15 +83,29 @@ std::vector<int> BfsOrder(const Graph& graph) {
     queue.push_back(root);
     for (size_t head = queue.size() - 1; head < queue.size(); ++head) {
       const int v = queue[head];
-      for (int u : graph.Neighbors(v)) {
+      graph.ForEachNeighbor(v, [&](int u) {
         if (perm[u] < 0) {
           perm[u] = rank++;
           queue.push_back(u);
         }
-      }
+      });
     }
   }
   return perm;
+}
+
+void ValidateChannelScale(int64_t n, int64_t m, const char* engine) {
+  // Channel ids (first_/send_chan_/chan_owner_ and every mailbox index)
+  // are int32; 2m channels plus sentinel headroom must fit.
+  constexpr int64_t kMaxChannels = static_cast<int64_t>(INT32_MAX) - 4;
+  if (2 * m > kMaxChannels) {
+    throw GraphLimitError(
+        std::string(engine) + ": graph with m = " + std::to_string(m) +
+        " edges (n = " + std::to_string(n) + ") needs " +
+        std::to_string(2 * m) +
+        " channels, exceeding the engine's int32 channel-index limit of " +
+        std::to_string(kMaxChannels));
+  }
 }
 
 std::vector<int> WorklistOrder(int n, const std::vector<int>& perm) {
@@ -102,8 +118,7 @@ std::vector<int> WorklistOrder(int n, const std::vector<int>& perm) {
   return order;
 }
 
-std::vector<int> BuildChanOwner(const Graph& graph,
-                                const std::vector<int>& first,
+std::vector<int> BuildChanOwner(GraphView graph, const std::vector<int>& first,
                                 const std::vector<int>& order) {
   const int n = graph.NumNodes();
   std::vector<int> owner(2 * static_cast<size_t>(graph.NumEdges()));
@@ -135,19 +150,21 @@ void ArmStatePlane(Algorithm& alg, int n, const int* inv,
 
 }  // namespace internal
 
-Network::Network(const Graph& graph, std::vector<int64_t> ids)
+Network::Network(GraphView graph, std::vector<int64_t> ids)
     : Network(graph, std::move(ids), NetworkOptions{}) {}
 
 Network::~Network() = default;  // out of line: pending_resume_'s type
 
-Network::Network(const Graph& graph, std::vector<int64_t> ids,
+Network::Network(GraphView graph, std::vector<int64_t> ids,
                  const NetworkOptions& options)
-    : graph_(&graph),
+    : graph_(graph),
       ids_(std::move(ids)),
       digest_messages_(options.digest_messages),
       wake_opt_(options.wake_scheduling),
       fault_(options.fault) {
   assert(static_cast<int>(ids_.size()) == graph.NumNodes());
+  internal::ValidateChannelScale(graph.NumNodes(), graph.NumEdges(),
+                                 "Network");
   const int n = graph.NumNodes();
   const size_t channels = 2 * static_cast<size_t>(graph.NumEdges());
 
@@ -169,7 +186,7 @@ int Network::Run(Algorithm& alg, int max_rounds) {
 }
 
 int Network::RunUntil(Algorithm& alg, int max_rounds, int pause_at_round) {
-  const int n = graph_->NumNodes();
+  const int n = graph_.NumNodes();
   // A run is scheduled iff the engine option is on AND the algorithm opts
   // in. Continuing a paused run recomputes the same value (same Algorithm
   // object, WakeScheduled constant by contract).
@@ -177,7 +194,7 @@ int Network::RunUntil(Algorithm& alg, int max_rounds, int pause_at_round) {
   if (scheduled && wake_round_.empty() && n > 0) {
     // First scheduled run on this engine: arm the wake tables once.
     wake_round_.assign(n, 0);
-    chan_owner_ = internal::BuildChanOwner(*graph_, first_, order_);
+    chan_owner_ = internal::BuildChanOwner(graph_, first_, order_);
     notify_stamp_.reset(new std::atomic<int32_t>[n]);
     for (int i = 0; i < n; ++i) {
       notify_stamp_[i].store(-1, std::memory_order_relaxed);
@@ -213,7 +230,7 @@ int Network::RunUntil(Algorithm& alg, int max_rounds, int pause_at_round) {
     }
     epoch_ += 2;
     round_seconds_.clear();
-    internal::ApplySoloSnapshot(*snap, *graph_, alg.StateBytes(), order_,
+    internal::ApplySoloSnapshot(*snap, graph_, alg.StateBytes(), order_,
                                 perm_, first_, inbox_, halted_, active_,
                                 state_, state_stride_, round_stats_,
                                 round_msg_acc_, round_digests_, digest_,
@@ -354,7 +371,7 @@ int Network::RunUntil(Algorithm& alg, int max_rounds, int pause_at_round) {
       const int v = order_[i];
       if (halted_[v] || wake_round_[i] <= round_ + 1) return;
       const int lo = first_[v];
-      const int hi = lo + graph_->Degree(v);  // not first_[v + 1]: see
+      const int hi = lo + graph_.Degree(v);   // not first_[v + 1]: see
                                               // BuildChanOwner on relabel
       bool observable = false;
       for (int c = lo; c < hi && !observable; ++c) {
@@ -569,7 +586,7 @@ void Network::Checkpoint(std::ostream& out) const {
         "RunUntil or let a run finish first)");
   }
   const SnapshotData snap = internal::BuildSoloSnapshot(
-      *graph_, ids_, SnapshotEngineKind::kNetwork, digest_messages_,
+      graph_, ids_, SnapshotEngineKind::kNetwork, digest_messages_,
       finished_, round_, messages_delivered_, round_stats_, round_msg_acc_,
       round_digests_, halted_, state_, state_stride_, order_, first_, inbox_,
       epoch_, scheduled_, wake_round_.empty() ? nullptr : wake_round_.data());
@@ -578,7 +595,7 @@ void Network::Checkpoint(std::ostream& out) const {
 
 void Network::Resume(std::istream& in) {
   SnapshotData snap = ReadSnapshot(in);
-  internal::ValidateForEngine(snap, *graph_, ids_, /*batch=*/1,
+  internal::ValidateForEngine(snap, graph_, ids_, /*batch=*/1,
                               digest_messages_, "Network");
   pending_resume_ = std::make_unique<SnapshotData>(std::move(snap));
   mid_run_ = false;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 #include "src/support/digest.h"
 #include "src/support/thread_pool.h"
 
@@ -161,17 +162,25 @@ void RefHalt(ReferenceNetwork& ref, int node);
 // external node -> internal rank and the channel blocks are laid out in
 // internal-rank order (NetworkOptions::relabel); first[] stays indexed by
 // external node, so the Recv/Send hot paths are identical either way.
-void BuildChannelTables(const Graph& graph, const int* perm,
+// Backend-agnostic (one streaming adjacency pass, no edge ids): both
+// graph backends yield byte-identical tables.
+void BuildChannelTables(GraphView graph, const int* perm,
                         std::vector<int>& first, std::vector<int>& send_chan);
 
 // BFS permutation for NetworkOptions::relabel: perm[v] = BFS visit rank of
 // external node v (roots chosen in increasing external index; neighbors
 // expanded in port order). Deterministic.
-std::vector<int> BfsOrder(const Graph& graph);
+std::vector<int> BfsOrder(GraphView graph);
 
 // Initial worklist order: external node ids sorted by internal rank
 // (identity when perm is null). The engines run rounds in this order.
 std::vector<int> WorklistOrder(int n, const std::vector<int>& perm);
+
+// Guards the int32 channel arithmetic every engine shares: channel ids
+// live in int (first_/send_chan_/chan_owner_), so 2m + epoch headroom
+// must fit int32. Separately callable for boundary tests; throws
+// GraphLimitError naming the engine and the offending count.
+void ValidateChannelScale(int64_t n, int64_t m, const char* engine);
 
 // Arms an engine-managed state plane for a Run: (re)sizes `plane` to
 // n * Algorithm::StateBytes() zeroed bytes (reusing capacity across runs)
@@ -186,8 +195,7 @@ void ArmStatePlane(Algorithm& alg, int n, const int* inv,
 // INTERNAL RANK of the node whose recv-channel block contains channel c
 // (i.e. the receiver of any Send that stores to c). order maps rank ->
 // external id, as in WorklistOrder.
-std::vector<int> BuildChanOwner(const Graph& graph,
-                                const std::vector<int>& first,
+std::vector<int> BuildChanOwner(GraphView graph, const std::vector<int>& first,
                                 const std::vector<int>& order);
 }  // namespace internal
 
@@ -214,13 +222,13 @@ class NodeContext {
   // one shared object may key on it; the usual pattern (one Algorithm object
   // per instance) never needs it.
   int instance() const { return instance_; }
-  int degree() const { return graph_->Degree(node_); }
+  int degree() const { return graph_.Degree(node_); }
   int64_t id() const { return ids_[node_]; }
   int64_t neighbor_id(int port) const {
-    return ids_[graph_->Neighbors(node_)[port]];
+    return ids_[graph_.NeighborAt(node_, port)];
   }
-  int n() const { return graph_->NumNodes(); }
-  int max_degree() const { return graph_->MaxDegree(); }
+  int n() const { return graph_.NumNodes(); }
+  int max_degree() const { return graph_.MaxDegree(); }
   int round() const { return round_; }
 
   // Message received on `port` this round (sent by the neighbor last round).
@@ -266,11 +274,11 @@ class NodeContext {
   friend class ParallelNetwork;
   friend class BatchNetwork;
   friend class ReferenceNetwork;
-  NodeContext(const Graph* graph, const int64_t* ids, BatchNetwork* batch,
+  NodeContext(GraphView graph, const int64_t* ids, BatchNetwork* batch,
               ReferenceNetwork* ref)
       : graph_(graph), ids_(ids), batch_(batch), ref_(ref) {}
 
-  const Graph* graph_;
+  GraphView graph_;
   const int64_t* ids_;
   BatchNetwork* batch_;    // batched multi-instance engine, or null
   ReferenceNetwork* ref_;  // reference engine, or null
@@ -438,8 +446,12 @@ class Algorithm {
 // so mailboxes never need clearing.
 class Network {
  public:
-  Network(const Graph& graph, std::vector<int64_t> ids);
-  Network(const Graph& graph, std::vector<int64_t> ids,
+  // GraphView converts implicitly from either backend, so
+  // Network(graph, ids) works unchanged for a Graph and equally for a
+  // CompactGraph — with bit-identical transcripts (the view must outlive
+  // the engine, as the Graph always had to).
+  Network(GraphView graph, std::vector<int64_t> ids);
+  Network(GraphView graph, std::vector<int64_t> ids,
           const NetworkOptions& options);
 
   // Runs `alg` until every node has halted or `max_rounds` is hit.
@@ -486,7 +498,12 @@ class Network {
 
   ~Network();
 
-  const Graph& graph() const { return *graph_; }
+  // Backend-specific access: graph() serves the pipelines still tied to
+  // the uncompressed CSR (incidence spans, edge slots) and throws
+  // std::logic_error when the engine was built over a CompactGraph;
+  // view() is the backend-agnostic handle.
+  const Graph& graph() const { return graph_.RequireCsr("Network::graph()"); }
+  GraphView view() const { return graph_; }
   const std::vector<int64_t>& ids() const { return ids_; }
 
   // Transcript digest chain for the run so far: round_digests()[r] =
@@ -542,7 +559,7 @@ class Network {
  private:
   friend class NodeContext;
 
-  const Graph* graph_;
+  GraphView graph_;
   std::vector<int64_t> ids_;
   std::vector<int> first_;      // size n+1: CSR offsets; recv channel of
                                 // (v, p) is first_[v] + p
@@ -696,10 +713,10 @@ class Network {
 // pairs) + O(#live nodes) for the compaction; memory is O((n + m) * B).
 class BatchNetwork {
  public:
-  BatchNetwork(const Graph& graph, std::vector<int64_t> ids, int batch);
+  BatchNetwork(GraphView graph, std::vector<int64_t> ids, int batch);
   // Sharded form: the round pass runs on `num_threads` persistent pool
   // lanes (>= 1; capped at `batch` — slices are whole instances).
-  BatchNetwork(const Graph& graph, std::vector<int64_t> ids, int batch,
+  BatchNetwork(GraphView graph, std::vector<int64_t> ids, int batch,
                int num_threads);
   // Options form: honors every NetworkOptions field. Under relabel the
   // channel clusters and state planes are laid out in BFS order (the round
@@ -707,7 +724,7 @@ class BatchNetwork {
   // each instance's state stream stay BFS-local) while halt flags, wake
   // rounds, and every API surface stay in the caller's external numbering —
   // transcripts are bit-identical either way, as for Network.
-  BatchNetwork(const Graph& graph, std::vector<int64_t> ids, int batch,
+  BatchNetwork(GraphView graph, std::vector<int64_t> ids, int batch,
                int num_threads, const NetworkOptions& options);
 
   // Virtual only so deleting a ParallelBatchNetwork through a
@@ -745,7 +762,12 @@ class BatchNetwork {
 
   int batch() const { return batch_; }
   int num_threads() const { return pool_.num_threads(); }
-  const Graph& graph() const { return *graph_; }
+  // Same split as Network: graph() requires the uncompressed backend,
+  // view() works for either.
+  const Graph& graph() const {
+    return graph_.RequireCsr("BatchNetwork::graph()");
+  }
+  GraphView view() const { return graph_; }
   const std::vector<int64_t>& ids() const { return ids_; }
 
   // Per-instance counters for the last Run; same accounting as Network's
@@ -813,7 +835,7 @@ class BatchNetwork {
     std::vector<std::vector<int64_t>> calendar;
   };
 
-  const Graph* graph_;
+  GraphView graph_;
   std::vector<int64_t> ids_;
   int batch_;
   std::vector<int> first_;      // shared CSR offsets (see Network)
@@ -899,7 +921,7 @@ class BatchNetwork {
 // (RunRakeCompressBatch, SolveNodeProblemOnTreeBatch, ...) unchanged.
 class ParallelBatchNetwork final : public BatchNetwork {
  public:
-  ParallelBatchNetwork(const Graph& graph, std::vector<int64_t> ids, int batch,
+  ParallelBatchNetwork(GraphView graph, std::vector<int64_t> ids, int batch,
                        int num_threads)
       : BatchNetwork(graph, std::move(ids), batch, num_threads) {}
 };

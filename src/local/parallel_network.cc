@@ -13,20 +13,22 @@ namespace treelocal::local {
 
 ParallelNetwork::~ParallelNetwork() = default;
 
-ParallelNetwork::ParallelNetwork(const Graph& graph, std::vector<int64_t> ids,
+ParallelNetwork::ParallelNetwork(GraphView graph, std::vector<int64_t> ids,
                                  int num_threads)
     : ParallelNetwork(graph, std::move(ids), num_threads, NetworkOptions{}) {}
 
-ParallelNetwork::ParallelNetwork(const Graph& graph, std::vector<int64_t> ids,
+ParallelNetwork::ParallelNetwork(GraphView graph, std::vector<int64_t> ids,
                                  int num_threads,
                                  const NetworkOptions& options)
-    : graph_(&graph),
+    : graph_(graph),
       ids_(std::move(ids)),
       wake_opt_(options.wake_scheduling),
       digest_messages_(options.digest_messages),
       fault_(options.fault),
       pool_(num_threads) {
   assert(static_cast<int>(ids_.size()) == graph.NumNodes());
+  internal::ValidateChannelScale(graph.NumNodes(), graph.NumEdges(),
+                                 "ParallelNetwork");
   const int n = graph.NumNodes();
   const size_t channels = 2 * static_cast<size_t>(graph.NumEdges());
 
@@ -51,14 +53,14 @@ int ParallelNetwork::Run(Algorithm& alg, int max_rounds) {
 int ParallelNetwork::RunUntil(Algorithm& alg, int max_rounds,
                               int pause_at_round) {
   const int T = pool_.num_threads();
-  const int n = graph_->NumNodes();
+  const int n = graph_.NumNodes();
   // Wake-scheduling setup, identical to Network::RunUntil (see there for
   // the calendar-bounding and duplicate-entry reasoning).
   const bool scheduled = wake_opt_ && alg.WakeScheduled();
   if (scheduled && wake_round_.empty() && n > 0) {
     wake_round_.assign(n, 0);
     bucket_stamp_.assign(n, -1);
-    chan_owner_ = internal::BuildChanOwner(*graph_, first_, order_);
+    chan_owner_ = internal::BuildChanOwner(graph_, first_, order_);
     notify_stamp_.reset(new std::atomic<int32_t>[n]);
     for (int i = 0; i < n; ++i) {
       notify_stamp_[i].store(-1, std::memory_order_relaxed);
@@ -86,7 +88,7 @@ int ParallelNetwork::RunUntil(Algorithm& alg, int max_rounds,
     }
     epoch_ += 2;
     round_seconds_.clear();
-    internal::ApplySoloSnapshot(*snap, *graph_, alg.StateBytes(), order_,
+    internal::ApplySoloSnapshot(*snap, graph_, alg.StateBytes(), order_,
                                 perm_, first_, inbox_, halted_, active_,
                                 state_, state_stride_, round_stats_,
                                 round_msg_acc_, round_digests_, digest_,
@@ -396,7 +398,7 @@ int ParallelNetwork::RunUntil(Algorithm& alg, int max_rounds,
         const int v = order_[i];
         if (halted_[v] || wake_round_[i] <= next) return;
         const int lo = first_[v];
-        const int hi = lo + graph_->Degree(v);  // not first_[v + 1]: see
+        const int hi = lo + graph_.Degree(v);   // not first_[v + 1]: see
                                                 // BuildChanOwner on relabel
         bool observable = false;
         for (int c = lo; c < hi && !observable; ++c) {
@@ -522,7 +524,7 @@ void ParallelNetwork::Checkpoint(std::ostream& out) const {
         "(pause with RunUntil or let a run finish first)");
   }
   const SnapshotData snap = internal::BuildSoloSnapshot(
-      *graph_, ids_, SnapshotEngineKind::kParallelNetwork, digest_messages_,
+      graph_, ids_, SnapshotEngineKind::kParallelNetwork, digest_messages_,
       finished_, round_, messages_delivered_, round_stats_, round_msg_acc_,
       round_digests_, halted_, state_, state_stride_, order_, first_, inbox_,
       epoch_, scheduled_, wake_round_.empty() ? nullptr : wake_round_.data());
@@ -531,7 +533,7 @@ void ParallelNetwork::Checkpoint(std::ostream& out) const {
 
 void ParallelNetwork::Resume(std::istream& in) {
   SnapshotData snap = ReadSnapshot(in);
-  internal::ValidateForEngine(snap, *graph_, ids_, /*batch=*/1,
+  internal::ValidateForEngine(snap, graph_, ids_, /*batch=*/1,
                               digest_messages_, "ParallelNetwork");
   pending_resume_ = std::make_unique<SnapshotData>(std::move(snap));
   mid_run_ = false;

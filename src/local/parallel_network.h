@@ -50,9 +50,11 @@ namespace treelocal::local {
 // guards. Supports NetworkOptions::relabel identically to Network.
 class ParallelNetwork {
  public:
-  ParallelNetwork(const Graph& graph, std::vector<int64_t> ids,
+  // Accepts either backend via the implicit GraphView conversions; the
+  // view (and the backend behind it) must outlive the engine.
+  ParallelNetwork(GraphView graph, std::vector<int64_t> ids,
                   int num_threads);
-  ParallelNetwork(const Graph& graph, std::vector<int64_t> ids,
+  ParallelNetwork(GraphView graph, std::vector<int64_t> ids,
                   int num_threads, const NetworkOptions& options);
 
   // Same contract as Network::Run (same return value, same max_rounds
@@ -73,7 +75,10 @@ class ParallelNetwork {
   ~ParallelNetwork();
 
   int num_threads() const { return pool_.num_threads(); }
-  const Graph& graph() const { return *graph_; }
+  const Graph& graph() const {
+    return graph_.RequireCsr("ParallelNetwork::graph()");
+  }
+  GraphView view() const { return graph_; }
   const std::vector<int64_t>& ids() const { return ids_; }
   int64_t messages_delivered() const { return messages_delivered_; }
   const std::vector<RoundStats>& round_stats() const { return round_stats_; }
@@ -137,7 +142,7 @@ class ParallelNetwork {
     std::vector<int> notified;
   };
 
-  const Graph* graph_;
+  GraphView graph_;
   std::vector<int64_t> ids_;
   std::vector<int> first_;      // see Network: external-indexed CSR offsets
   std::vector<int> send_chan_;  // reverse half-edge channels

@@ -25,48 +25,58 @@ void RefHalt(ReferenceNetwork& ref, int node) { ref.HaltAt(node); }
 
 ReferenceNetwork::~ReferenceNetwork() = default;
 
-ReferenceNetwork::ReferenceNetwork(const Graph& graph, std::vector<int64_t> ids)
+ReferenceNetwork::ReferenceNetwork(GraphView graph, std::vector<int64_t> ids)
     : ReferenceNetwork(graph, std::move(ids), NetworkOptions{}) {}
 
-ReferenceNetwork::ReferenceNetwork(const Graph& graph, std::vector<int64_t> ids,
+ReferenceNetwork::ReferenceNetwork(GraphView graph, std::vector<int64_t> ids,
                                    const NetworkOptions& options)
-    : graph_(&graph),
+    : graph_(graph),
       ids_(std::move(ids)),
       digest_messages_(options.digest_messages),
       fault_(options.fault),
       wake_opt_(options.wake_scheduling) {
   assert(static_cast<int>(ids_.size()) == graph.NumNodes());
+  internal::ValidateChannelScale(graph.NumNodes(), graph.NumEdges(),
+                                 "ReferenceNetwork");
+  const int n = graph.NumNodes();
   const size_t channels = 2 * static_cast<size_t>(graph.NumEdges());
   inbox_.assign(channels, Message{});
   outbox_.assign(channels, Message{});
-  halted_.assign(graph.NumNodes(), 0);
-  // Invert the channel indexing once: Channel(e, s) holds what endpoint s
-  // of edge e sent, on this port of the sender. Used by the content
-  // digest's inbox scan and by Resume's deliverable placement.
+  halted_.assign(n, 0);
+  // Materialize the port -> (edge, slot) tables and invert the channel
+  // indexing once: Channel(e, s) holds what endpoint s of edge e sent, on
+  // this port of the sender. Used by every channel access, the content
+  // digest's inbox scan, and Resume's deliverable placement. Edge ids fit
+  // int here (ValidateChannelScale above bounds 2m).
+  inc_off_.assign(n + 1, 0);
+  for (int v = 0; v < n; ++v) inc_off_[v + 1] = inc_off_[v] + graph.Degree(v);
+  port_edge_.assign(channels, 0);
+  port_slot_.assign(channels, 0);
   chan_sender_.assign(channels, 0);
   chan_port_.assign(channels, 0);
-  for (int v = 0; v < graph.NumNodes(); ++v) {
-    auto inc = graph.IncidentEdges(v);
-    for (int p = 0; p < static_cast<int>(inc.size()); ++p) {
-      const size_t c = Channel(inc[p], graph.EndpointSlot(inc[p], v));
+  for (int v = 0; v < n; ++v) {
+    int p = 0;
+    graph.ForEachNeighbor(v, [&](int u) {
+      const int e = static_cast<int>(graph.EdgeBetween(v, u));
+      const int slot = graph.Endpoints(e).first == v ? 0 : 1;
+      port_edge_[inc_off_[v] + p] = e;
+      port_slot_[inc_off_[v] + p] = slot;
+      const size_t c = Channel(e, slot);
       chan_sender_[c] = v;
       chan_port_[c] = p;
-    }
+      ++p;
+    });
   }
 }
 
 const Message& ReferenceNetwork::RecvAt(int node, int port) const {
-  const Graph& g = *graph_;
-  int e = g.IncidentEdges(node)[port];
-  int sender_slot = 1 - g.EndpointSlot(e, node);
-  return inbox_[Channel(e, sender_slot)];
+  const int i = inc_off_[node] + port;
+  return inbox_[Channel(port_edge_[i], 1 - port_slot_[i])];
 }
 
 void ReferenceNetwork::SendAt(int node, int port, Message m) {
-  const Graph& g = *graph_;
-  int e = g.IncidentEdges(node)[port];
-  int my_slot = g.EndpointSlot(e, node);
-  Message& slot = outbox_[Channel(e, my_slot)];
+  const int i = inc_off_[node] + port;
+  Message& slot = outbox_[Channel(port_edge_[i], port_slot_[i])];
   visit_sent_delta_ +=
       static_cast<int>(m.present()) - static_cast<int>(slot.present());
   slot = m;
@@ -85,7 +95,7 @@ int ReferenceNetwork::Run(Algorithm& alg, int max_rounds) {
 
 int ReferenceNetwork::RunUntil(Algorithm& alg, int max_rounds,
                                int pause_at_round) {
-  const int n = graph_->NumNodes();
+  const int n = graph_.NumNodes();
   const bool scheduled = wake_opt_ && alg.WakeScheduled();
   if (scheduled && wake_round_.empty()) wake_round_.assign(n, 0);
   if (pending_resume_ != nullptr) {
@@ -125,9 +135,8 @@ int ReferenceNetwork::RunUntil(Algorithm& alg, int max_rounds,
     // Place each deliverable where the receiver's RecvAt(node, port) looks:
     // the channel the far endpoint of that port sent on.
     for (const SnapshotMessage& msg : inst.deliverable) {
-      const int e = graph_->IncidentEdges(msg.node)[msg.port];
-      const int sender_slot = 1 - graph_->EndpointSlot(e, msg.node);
-      inbox_[Channel(e, sender_slot)] =
+      const int i = inc_off_[msg.node] + msg.port;
+      inbox_[Channel(port_edge_[i], 1 - port_slot_[i])] =
           Message{msg.word0, msg.word1, msg.size};
     }
     wakes_ = 0;
@@ -246,7 +255,7 @@ void ReferenceNetwork::Checkpoint(std::ostream& out) const {
         "ReferenceNetwork::Checkpoint: engine is not at a round boundary "
         "(pause with RunUntil or let a run finish first)");
   }
-  const int n = graph_->NumNodes();
+  const int n = graph_.NumNodes();
   SnapshotData snap;
   snap.engine_kind = SnapshotEngineKind::kReferenceNetwork;
   snap.digest_messages = digest_messages_;
@@ -254,13 +263,12 @@ void ReferenceNetwork::Checkpoint(std::ostream& out) const {
   snap.batch = 1;
   snap.round = round_;
   snap.n = n;
-  snap.m = graph_->NumEdges();
-  snap.graph_hash = GraphHash(*graph_);
+  snap.m = graph_.NumEdges();
+  snap.graph_hash = GraphHash(graph_);
   snap.ids_hash = IdsHash(ids_);
   snap.edges.reserve(static_cast<size_t>(snap.m));
-  for (int e = 0; e < graph_->NumEdges(); ++e) {
-    snap.edges.emplace_back(graph_->EdgeU(e), graph_->EdgeV(e));
-  }
+  graph_.ForEachEdge(
+      [&](int64_t, int u, int v) { snap.edges.emplace_back(u, v); });
   snap.ids = ids_;
   snap.instances.resize(1);
   SnapshotData::Instance& inst = snap.instances[0];
@@ -287,7 +295,7 @@ void ReferenceNetwork::Checkpoint(std::ostream& out) const {
   // Finished runs record none, as in BuildSoloSnapshot.
   if (!finished_) {
     for (int v = 0; v < n; ++v) {
-      const int deg = graph_->Degree(v);
+      const int deg = graph_.Degree(v);
       for (int p = 0; p < deg; ++p) {
         const Message& m = RecvAt(v, p);
         if (m.size != 0 || m.word0 != 0 || m.word1 != 0) {
@@ -301,7 +309,7 @@ void ReferenceNetwork::Checkpoint(std::ostream& out) const {
 
 void ReferenceNetwork::Resume(std::istream& in) {
   SnapshotData snap = ReadSnapshot(in);
-  internal::ValidateForEngine(snap, *graph_, ids_, /*batch=*/1,
+  internal::ValidateForEngine(snap, graph_, ids_, /*batch=*/1,
                               digest_messages_, "ReferenceNetwork");
   pending_resume_ = std::make_unique<SnapshotData>(std::move(snap));
   mid_run_ = false;

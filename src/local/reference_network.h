@@ -20,12 +20,14 @@ namespace treelocal::local {
 // exactly the behavior the optimized engine eliminates.
 class ReferenceNetwork {
  public:
-  ReferenceNetwork(const Graph& graph, std::vector<int64_t> ids);
+  // Accepts either backend via the implicit GraphView conversions; the
+  // view (and the backend behind it) must outlive the engine.
+  ReferenceNetwork(GraphView graph, std::vector<int64_t> ids);
   // Options form: honors digest_messages (content hashing here is a naive
   // O(2m)-per-round inbox scan — reference semantics, reference cost) and
   // fault; relabel is accepted and ignored (pure layout, transcripts are
   // relabel-invariant by contract, and the naive engine has no layout).
-  ReferenceNetwork(const Graph& graph, std::vector<int64_t> ids,
+  ReferenceNetwork(GraphView graph, std::vector<int64_t> ids,
                    const NetworkOptions& options);
 
   ~ReferenceNetwork();
@@ -42,7 +44,10 @@ class ReferenceNetwork {
   void Checkpoint(std::ostream& out) const;
   void Resume(std::istream& in);
 
-  const Graph& graph() const { return *graph_; }
+  const Graph& graph() const {
+    return graph_.RequireCsr("ReferenceNetwork::graph()");
+  }
+  GraphView view() const { return graph_; }
   const std::vector<int64_t>& ids() const { return ids_; }
   int64_t messages_delivered() const { return messages_delivered_; }
   const std::vector<RoundStats>& round_stats() const { return round_stats_; }
@@ -81,10 +86,18 @@ class ReferenceNetwork {
   // Directed channel index for the half-edge (edge e, sender slot s).
   static size_t Channel(int e, int s) { return 2 * static_cast<size_t>(e) + s; }
 
-  const Graph* graph_;
+  GraphView graph_;
   std::vector<int64_t> ids_;
   std::vector<Message> inbox_;   // indexed by receiving channel
   std::vector<Message> outbox_;  // indexed by sending channel
+  // Materialized port -> (edge, endpoint-slot) tables, built once in the
+  // constructor through the backend-neutral view (ports index the shared
+  // sorted adjacency, so both backends produce the same tables for the
+  // same topology up to the backend's edge numbering). inc_off_[v] + p
+  // indexes the port tables.
+  std::vector<int> inc_off_;    // size n+1, external-indexed CSR offsets
+  std::vector<int> port_edge_;  // size 2m: edge id of port p of v
+  std::vector<int> port_slot_;  // size 2m: v's endpoint slot on that edge
   std::vector<unsigned char> state_;  // external-indexed state plane
   size_t state_stride_ = 0;
   std::vector<char> halted_;

@@ -189,16 +189,19 @@ void ValidateData(const SnapshotData& snap) {
 
 }  // namespace
 
-uint64_t GraphHash(const Graph& g) {
+uint64_t GraphHash(GraphView g) {
   uint64_t h = kDigestSeed;
   const int32_t n = g.NumNodes();
   const int64_t m = g.NumEdges();
   h = Fnv1a64(&n, sizeof(n), h);
   h = Fnv1a64(&m, sizeof(m), h);
-  for (int e = 0; e < g.NumEdges(); ++e) {
-    const int32_t uv[2] = {g.EdgeU(e), g.EdgeV(e)};
+  // Enumerates in the backend's edge-id order (Graph: input order, so
+  // hashes of Graph-backed snapshots are unchanged from before the
+  // GraphView seam; CompactGraph: (min, max)-sorted).
+  g.ForEachEdge([&](int64_t, int u, int v) {
+    const int32_t uv[2] = {u, v};
     h = Fnv1a64(uv, sizeof(uv), h);
-  }
+  });
   return h;
 }
 
@@ -379,7 +382,7 @@ Graph ReconstructGraph(const SnapshotData& snap) {
 namespace internal {
 
 SnapshotData BuildSoloSnapshot(
-    const Graph& g, const std::vector<int64_t>& ids,
+    GraphView g, const std::vector<int64_t>& ids,
     SnapshotEngineKind engine_kind, bool digest_messages, bool finished,
     int round, int64_t messages_delivered,
     const std::vector<RoundStats>& stats, const std::vector<uint64_t>& maccs,
@@ -400,9 +403,7 @@ SnapshotData BuildSoloSnapshot(
   snap.graph_hash = GraphHash(g);
   snap.ids_hash = IdsHash(ids);
   snap.edges.reserve(static_cast<size_t>(snap.m));
-  for (int e = 0; e < g.NumEdges(); ++e) {
-    snap.edges.emplace_back(g.EdgeU(e), g.EdgeV(e));
-  }
+  g.ForEachEdge([&](int64_t, int u, int v) { snap.edges.emplace_back(u, v); });
   snap.ids = ids;
   snap.instances.resize(1);
   SnapshotData::Instance& inst = snap.instances[0];
@@ -458,7 +459,7 @@ SnapshotData BuildSoloSnapshot(
   return snap;
 }
 
-void ValidateForEngine(const SnapshotData& snap, const Graph& g,
+void ValidateForEngine(const SnapshotData& snap, GraphView g,
                        const std::vector<int64_t>& ids, int batch,
                        bool digest_messages, const char* engine_name) {
   const std::string who = std::string(engine_name) + "::Resume: ";
@@ -495,7 +496,7 @@ void ValidateForEngine(const SnapshotData& snap, const Graph& g,
   }
 }
 
-void ApplySoloSnapshot(const SnapshotData& snap, const Graph& g,
+void ApplySoloSnapshot(const SnapshotData& snap, GraphView g,
                        size_t alg_state_bytes, const std::vector<int>& order,
                        const std::vector<int>& perm,
                        const std::vector<int>& first,

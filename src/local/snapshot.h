@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
 #include "src/local/network.h"
 
 namespace treelocal::local {
@@ -173,8 +174,13 @@ struct SnapshotData {
 };
 
 // Canonical hashes binding a snapshot to its inputs: FNV-1a over (n, m,
-// edge endpoints) and over the raw id words.
-uint64_t GraphHash(const Graph& g);
+// edge endpoints in the backend's enumeration order) and over the raw id
+// words. Backends number edges differently (Graph keeps input order,
+// CompactGraph sorts by (min, max)), so a snapshot binds to the backend's
+// edge order as well as the topology — resuming a compact-backed run on a
+// compact backend of the same graph always matches, and a cross-order
+// mismatch surfaces as a structured hash error, never a silent misparse.
+uint64_t GraphHash(GraphView g);
 uint64_t IdsHash(const std::vector<int64_t>& ids);
 
 // Serializes to the versioned byte format, appending the integrity hash.
@@ -202,7 +208,7 @@ namespace internal {
 // only when `scheduled`, and the gather canonicalizes (halted -> 0,
 // unscheduled live -> round).
 SnapshotData BuildSoloSnapshot(
-    const Graph& g, const std::vector<int64_t>& ids,
+    GraphView g, const std::vector<int64_t>& ids,
     SnapshotEngineKind engine_kind, bool digest_messages, bool finished,
     int round, int64_t messages_delivered,
     const std::vector<RoundStats>& stats, const std::vector<uint64_t>& maccs,
@@ -215,7 +221,7 @@ SnapshotData BuildSoloSnapshot(
 // Validates a parsed snapshot against the engine about to resume it:
 // graph/ids hashes, batch width, digest-messages flag, and per-message
 // port ranges against the engine's actual degrees. Throws SnapshotError.
-void ValidateForEngine(const SnapshotData& snap, const Graph& g,
+void ValidateForEngine(const SnapshotData& snap, GraphView g,
                        const std::vector<int64_t>& ids, int batch,
                        bool digest_messages, const char* engine_name);
 
@@ -224,7 +230,7 @@ void ValidateForEngine(const SnapshotData& snap, const Graph& g,
 // invariant), state plane (external -> internal), counters, digest-chain
 // history, and the deliverable messages stamped `epoch - 1` so the next
 // round's Recv sees exactly them.
-void ApplySoloSnapshot(const SnapshotData& snap, const Graph& g,
+void ApplySoloSnapshot(const SnapshotData& snap, GraphView g,
                        size_t alg_state_bytes, const std::vector<int>& order,
                        const std::vector<int>& perm,
                        const std::vector<int>& first,

@@ -73,7 +73,10 @@ std::unique_ptr<EdgeProblem> MakeEdgeProblem(ProblemId id, int max_degree) {
 
 struct Dispatcher::Ticket {
   uint64_t id = 0;
-  const ResidentGraph* graph = nullptr;
+  // Owning: released at the terminal transition, so the registry's
+  // idle-LRU eviction sees a graph as busy exactly while tickets against
+  // it are queued or running.
+  std::shared_ptr<const ResidentGraph> graph;
   SolveSpec spec;
   // Terminal transitions happen under the dispatcher mutex (Finish); the
   // atomics let slice-boundary checks and Fetch snapshots read without it.
@@ -90,8 +93,9 @@ Dispatcher::Dispatcher(const Registry* registry, const Options& options)
 
 Dispatcher::~Dispatcher() { Stop(); }
 
-Status Dispatcher::Submit(const ResidentGraph* graph, const SolveSpec& spec,
-                          uint64_t* ticket, std::string* error) {
+Status Dispatcher::Submit(std::shared_ptr<const ResidentGraph> graph,
+                          const SolveSpec& spec, uint64_t* ticket,
+                          std::string* error) {
   if (spec.max_rounds < 0) {
     *error = "negative round budget";
     return Status::kBadRequest;
@@ -132,7 +136,7 @@ Status Dispatcher::Submit(const ResidentGraph* graph, const SolveSpec& spec,
   }
 
   auto t = std::make_shared<Ticket>();
-  t->graph = graph;
+  t->graph = std::move(graph);
   t->spec = spec;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -187,6 +191,7 @@ bool Dispatcher::Cancel(uint64_t ticket, TicketState* state) {
   if (t->state.load() == TicketState::kQueued) {
     // Cancel-before-start completes immediately and frees the queue slot.
     queue_.erase(std::remove(queue_.begin(), queue_.end(), t), queue_.end());
+    t->graph.reset();
     t->state.store(TicketState::kCancelled);
     ++cancelled_;
     cv_done_.notify_all();
@@ -219,6 +224,7 @@ void Dispatcher::Stop() {
     stopping_ = true;
     for (const TicketPtr& t : queue_) {
       t->cancel.store(true);
+      t->graph.reset();
       t->state.store(TicketState::kCancelled);
       ++cancelled_;
     }
@@ -235,6 +241,10 @@ void Dispatcher::Finish(const TicketPtr& t, TicketState state,
     std::lock_guard<std::mutex> lock(mu_);
     t->result = res;
     t->why = why;
+    // Drop the graph reference before the terminal store becomes visible:
+    // a Fetch that observed the terminal state must find the graph already
+    // idle (evictable) in the registry.
+    t->graph.reset();
     t->state.store(state);
     --inflight_;
     switch (state) {
@@ -296,6 +306,7 @@ void Dispatcher::WorkerLoop() {
       head = queue_.front();
       queue_.pop_front();
       if (head->cancel.load()) {
+        head->graph.reset();
         head->state.store(TicketState::kCancelled);
         ++cancelled_;
         cv_done_.notify_all();
@@ -319,7 +330,11 @@ void Dispatcher::WorkerLoop() {
 
 void Dispatcher::RunRakeCompressBatchPass(
     const std::vector<TicketPtr>& members) {
-  const ResidentGraph& rg = *members.front()->graph;
+  // A member's Finish releases its own graph reference mid-pass (cancel at
+  // a slice boundary), so the pass holds its own.
+  const std::shared_ptr<const ResidentGraph> resident =
+      members.front()->graph;
+  const ResidentGraph& rg = *resident;
   const int64_t n = rg.graph.NumNodes();
 
   // Canonical-k dedup: members whose parameters provably produce identical
@@ -422,7 +437,9 @@ void Dispatcher::RunRakeCompressBatchPass(
 }
 
 void Dispatcher::RunThm12BatchPass(const std::vector<TicketPtr>& members) {
-  const ResidentGraph& rg = *members.front()->graph;
+  const std::shared_ptr<const ResidentGraph> resident =
+      members.front()->graph;
+  const ResidentGraph& rg = *resident;
   auto fail_all = [&](const std::string& why) {
     for (const TicketPtr& t : members) {
       Finish(t, TicketState::kFailed, {}, why);
@@ -470,7 +487,8 @@ void Dispatcher::RunThm12BatchPass(const std::vector<TicketPtr>& members) {
 }
 
 void Dispatcher::RunSolo(const TicketPtr& t) {
-  const ResidentGraph& rg = *t->graph;
+  const std::shared_ptr<const ResidentGraph> resident = t->graph;
+  const ResidentGraph& rg = *resident;
   const SolveSpec& spec = t->spec;
   try {
     SolveResult res;

@@ -66,9 +66,12 @@ class Dispatcher {
   ~Dispatcher();
 
   // Validates and enqueues a solve. On success returns kOk and sets
-  // *ticket; otherwise returns the error and sets *error.
-  Status Submit(const ResidentGraph* graph, const SolveSpec& spec,
-                uint64_t* ticket, std::string* error);
+  // *ticket; otherwise returns the error and sets *error. The ticket holds
+  // its own reference to the graph until it reaches a terminal state, so a
+  // registry eviction cannot pull a graph out from under a queued or
+  // running solve.
+  Status Submit(std::shared_ptr<const ResidentGraph> graph,
+                const SolveSpec& spec, uint64_t* ticket, std::string* error);
 
   // Snapshot of a ticket; block = wait for a terminal state. False if the
   // ticket is unknown.

@@ -340,6 +340,7 @@ std::vector<uint8_t> EncodeStatsResponse(const ServerStats& s) {
   w.U64(s.failed);
   w.U64(s.cancelled);
   w.U64(s.rejected);
+  w.U64(s.evicted);
   w.U64(s.batches);
   w.U64(s.batched_requests);
   w.U64(s.max_batch);
@@ -419,6 +420,7 @@ Status DecodeResponse(Op op, const uint8_t* payload, size_t size,
       resp.stats.failed = r.U64();
       resp.stats.cancelled = r.U64();
       resp.stats.rejected = r.U64();
+      resp.stats.evicted = r.U64();
       resp.stats.batches = r.U64();
       resp.stats.batched_requests = r.U64();
       resp.stats.max_batch = r.U64();

@@ -132,6 +132,7 @@ struct ServerStats {
   uint64_t failed = 0;
   uint64_t cancelled = 0;
   uint64_t rejected = 0;          // solves bounced by the admission cap
+  uint64_t evicted = 0;           // graphs dropped by the registry quota
   uint64_t batches = 0;           // dispatcher engine passes
   uint64_t batched_requests = 0;  // requests served by those passes
   uint64_t max_batch = 0;         // widest coalesced pass

@@ -34,9 +34,45 @@ uint64_t ContentKey(int32_t n,
 
 }  // namespace
 
-const ResidentGraph* Registry::Register(
+bool Registry::MakeRoomLocked(size_t incoming_bytes, std::string* error) {
+  const auto over = [&] {
+    return (options_.max_graphs != 0 &&
+            graphs_.size() + 1 > options_.max_graphs) ||
+           (options_.max_bytes != 0 &&
+            bytes_ + incoming_bytes > options_.max_bytes);
+  };
+  while (over()) {
+    // Idle = the registry holds the only reference; a graph with a queued
+    // or running ticket keeps a dispatcher-side shared_ptr and is skipped.
+    auto victim = graphs_.end();
+    for (auto it = graphs_.begin(); it != graphs_.end(); ++it) {
+      if (it->second.graph.use_count() != 1) continue;
+      if (victim == graphs_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == graphs_.end()) {
+      *error = "graph quota exceeded: " + std::to_string(graphs_.size()) +
+               " resident (cap " + std::to_string(options_.max_graphs) +
+               "), " + std::to_string(bytes_) + " bytes resident (cap " +
+               std::to_string(options_.max_bytes) + "), incoming " +
+               std::to_string(incoming_bytes) +
+               " bytes, and no idle graph to evict";
+      return false;
+    }
+    bytes_ -= victim->second.graph->memory_bytes;
+    graphs_.erase(victim);
+    ++evictions_;
+  }
+  return true;
+}
+
+std::shared_ptr<const ResidentGraph> Registry::Register(
     int32_t n, std::vector<std::pair<int32_t, int32_t>> edges,
-    std::vector<int64_t> ids, bool* fresh, std::string* error) {
+    std::vector<int64_t> ids, bool* fresh, AdmitResult* result,
+    std::string* error) {
+  *result = AdmitResult::kInvalid;
   if (!ids.empty() && static_cast<int32_t>(ids.size()) != n) {
     *error = "ids size does not match node count";
     return nullptr;
@@ -60,12 +96,14 @@ const ResidentGraph* Registry::Register(
     std::lock_guard<std::mutex> lock(mu_);
     auto it = graphs_.find(key);
     if (it != graphs_.end()) {
+      it->second.last_used = ++tick_;
       *fresh = false;
-      return it->second.get();
+      *result = AdmitResult::kAdmitted;
+      return it->second.graph;
     }
   }
   // Build outside the lock: FromEdges is the expensive validated step.
-  auto entry = std::make_unique<ResidentGraph>();
+  auto entry = std::make_shared<ResidentGraph>();
   entry->key = key;
   try {
     std::vector<std::pair<int, int>> e(edges.begin(), edges.end());
@@ -81,24 +119,52 @@ const ResidentGraph* Registry::Register(
           : *std::max_element(entry->ids.begin(), entry->ids.end()) + 1;
   entry->is_forest = IsForest(entry->graph);
   entry->max_degree = entry->graph.MaxDegree();
+  entry->memory_bytes =
+      entry->graph.MemoryBytes() + entry->ids.size() * sizeof(int64_t);
 
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = graphs_.try_emplace(key, std::move(entry));
-  // A racing identical registration may have won; either entry is
-  // equivalent (same content), so return whichever is resident.
-  *fresh = inserted;
-  return it->second.get();
+  if (auto it = graphs_.find(key); it != graphs_.end()) {
+    // A racing identical registration won; either entry is equivalent
+    // (same content), so return the resident one.
+    it->second.last_used = ++tick_;
+    *fresh = false;
+    *result = AdmitResult::kAdmitted;
+    return it->second.graph;
+  }
+  if (!MakeRoomLocked(entry->memory_bytes, error)) {
+    *result = AdmitResult::kOverQuota;
+    return nullptr;
+  }
+  bytes_ += entry->memory_bytes;
+  auto& slot = graphs_[key];
+  slot.graph = std::move(entry);
+  slot.last_used = ++tick_;
+  *fresh = true;
+  *result = AdmitResult::kAdmitted;
+  return slot.graph;
 }
 
-const ResidentGraph* Registry::Find(uint64_t key) const {
+std::shared_ptr<const ResidentGraph> Registry::Find(uint64_t key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = graphs_.find(key);
-  return it == graphs_.end() ? nullptr : it->second.get();
+  if (it == graphs_.end()) return nullptr;
+  it->second.last_used = ++tick_;
+  return it->second.graph;
 }
 
 size_t Registry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return graphs_.size();
+}
+
+size_t Registry::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+uint64_t Registry::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 }  // namespace treelocal::serve

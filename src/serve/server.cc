@@ -47,7 +47,10 @@ bool SendFrame(int fd, const std::vector<uint8_t>& payload) {
 
 }  // namespace
 
-Server::Server(const Options& options) : options_(options) {
+Server::Server(const Options& options)
+    : options_(options),
+      registry_(Registry::Options{options.max_graphs,
+                                  options.max_graph_bytes}) {
   Dispatcher::Options dopt;
   dopt.max_batch = options.max_batch;
   dopt.slice_rounds = options.slice_rounds;
@@ -161,21 +164,31 @@ std::vector<uint8_t> Server::HandleRequest(const Request& req) {
       return EncodePingResponse();
     case Op::kRegisterGraph: {
       bool fresh = false;
+      Registry::AdmitResult result = Registry::AdmitResult::kInvalid;
       std::string error;
-      const ResidentGraph* g =
-          registry_.Register(req.n, req.edges, req.ids, &fresh, &error);
-      if (g == nullptr) return EncodeError(Status::kBadGraph, error);
+      const std::shared_ptr<const ResidentGraph> g =
+          registry_.Register(req.n, req.edges, req.ids, &fresh, &result,
+                             &error);
+      if (g == nullptr) {
+        // Over-quota is a retry signal (evictable residency may free up),
+        // distinct from a structurally bad graph.
+        return EncodeError(result == Registry::AdmitResult::kOverQuota
+                               ? Status::kRejected
+                               : Status::kBadGraph,
+                           error);
+      }
       return EncodeRegisterGraphResponse(g->key, g->graph.NumNodes(),
                                          g->graph.NumEdges(), fresh);
     }
     case Op::kSolve: {
-      const ResidentGraph* g = registry_.Find(req.graph_key);
+      std::shared_ptr<const ResidentGraph> g = registry_.Find(req.graph_key);
       if (g == nullptr) {
         return EncodeError(Status::kUnknownGraph, "graph not registered");
       }
       uint64_t ticket = 0;
       std::string error;
-      const Status s = dispatcher_->Submit(g, req.spec, &ticket, &error);
+      const Status s =
+          dispatcher_->Submit(std::move(g), req.spec, &ticket, &error);
       if (s != Status::kOk) return EncodeError(s, error);
       return EncodeSolveResponse(ticket);
     }
@@ -212,6 +225,7 @@ std::vector<uint8_t> Server::HandleRequest(const Request& req) {
 ServerStats Server::StatsSnapshot() const {
   ServerStats stats;
   stats.graphs = registry_.size();
+  stats.evicted = registry_.evictions();
   dispatcher_->FillStats(&stats);
   stats.protocol_errors = protocol_errors_.load();
   stats.uptime_micros = static_cast<uint64_t>(

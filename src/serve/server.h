@@ -39,6 +39,11 @@ class Server {
     int slice_rounds = 64;
     int engine_threads = 1;
     int max_queue = 1024;  // admission cap (see Dispatcher::Options)
+    // Graph-residency quota (see Registry::Options): 0 = unlimited. A
+    // registration that cannot be admitted even after idle-LRU eviction is
+    // answered kRejected.
+    size_t max_graphs = 0;
+    size_t max_graph_bytes = 0;
     // Forwarded to the dispatcher's engine passes (bench negative control).
     support::FaultInjector* fault = nullptr;
   };

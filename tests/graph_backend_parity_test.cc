@@ -1,0 +1,330 @@
+// Backend parity: a CompactGraph-backed engine run — in-RAM or mmap-opened
+// from a .cgr file — must be bit-identical to the Graph-backed run on the
+// same input: digest chains, rounds, message totals, and full RoundStats
+// (including the visit/decision observability counters). Pinned across the
+// whole engine matrix (Network / ParallelNetwork / ReferenceNetwork /
+// BatchNetwork / ParallelBatchNetwork, relabel on/off, T in {1, 2, 8}) on
+// trees, forests, star unions, hubbed forests, and multi-component graphs.
+// This is THE determinism contract of the compressed backend: ports name
+// positions in the shared sorted adjacency, so nothing transcript-bearing
+// may depend on which backend served them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/rake_compress.h"
+#include "src/graph/compact_graph.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+#include "src/graph/graph_view.h"
+#include "src/local/network.h"
+#include "src/local/parallel_network.h"
+#include "src/local/reference_network.h"
+#include "src/local/snapshot.h"
+#include "src/support/digest.h"
+#include "src/support/rng.h"
+
+namespace treelocal {
+namespace {
+
+// A temp .cgr written from `g`, mmap-opened, deleted on destruction.
+struct MappedCgr {
+  std::string path;
+  CompactGraph graph;
+  explicit MappedCgr(const CompactGraph& g, const std::string& tag) {
+    path = ::testing::TempDir() + "backend_parity_" + tag + ".cgr";
+    g.WriteFile(path);
+    graph = CompactGraph::OpenMapped(path);
+  }
+  ~MappedCgr() { std::remove(path.c_str()); }
+};
+
+// Runs on every engine and every graph: each node folds its received words
+// into per-node state and re-broadcasts for a fixed number of rounds, so
+// every port, channel, and degree lookup the backend serves feeds the
+// digest chain. Halts uniformly at kRounds.
+class EchoAlgorithm : public local::Algorithm {
+ public:
+  static constexpr int kRounds = 5;
+  explicit EchoAlgorithm(GraphView g) : g_(g) {}
+  size_t StateBytes() const override { return sizeof(int64_t); }
+  void InitState(int node, void* state) override {
+    *static_cast<int64_t*>(state) = g_.Degree(node) * 1315423911LL + node;
+  }
+  void OnRound(local::NodeContext& ctx) override {
+    int64_t& acc = ctx.State<int64_t>();
+    for (int p = 0; p < ctx.degree(); ++p) {
+      const local::Message& msg = ctx.Recv(p);
+      if (msg.present()) acc = acc * 31 + msg.word0 + msg.word1;
+    }
+    if (ctx.round() >= kRounds) {
+      ctx.Halt();
+      return;
+    }
+    ctx.Broadcast(local::Message::Of(acc, ctx.round() + ctx.degree()));
+  }
+
+ private:
+  GraphView g_;
+};
+
+struct RunRecord {
+  int rounds = 0;
+  int64_t messages = 0;
+  uint64_t digest = 0;
+  std::vector<local::RoundStats> stats;
+  bool operator==(const RunRecord& o) const {
+    return rounds == o.rounds && messages == o.messages &&
+           digest == o.digest && stats == o.stats;
+  }
+};
+
+// One engine config applied to one backend.
+RunRecord RunConfig(GraphView g, const std::vector<int64_t>& ids,
+                    const std::string& engine, int threads, bool relabel) {
+  local::NetworkOptions opts;
+  opts.relabel = relabel;
+  EchoAlgorithm alg(g);
+  const int max_rounds = EchoAlgorithm::kRounds + 4;
+  RunRecord rec;
+  if (engine == "network") {
+    local::Network net(g, ids, opts);
+    rec.rounds = net.Run(alg, max_rounds);
+    rec.messages = net.messages_delivered();
+    rec.digest = net.last_digest();
+    rec.stats = net.round_stats();
+  } else if (engine == "parallel") {
+    local::ParallelNetwork net(g, ids, threads, opts);
+    rec.rounds = net.Run(alg, max_rounds);
+    rec.messages = net.messages_delivered();
+    rec.digest = net.last_digest();
+    rec.stats = net.round_stats();
+  } else if (engine == "reference") {
+    local::ReferenceNetwork net(g, ids, opts);
+    rec.rounds = net.Run(alg, max_rounds);
+    rec.messages = net.messages_delivered();
+    rec.digest = net.last_digest();
+    rec.stats = net.round_stats();
+  } else {  // batch / pbatch: two instances, fold both transcripts
+    const int batch = 2;
+    local::BatchNetwork net(g, ids, batch, engine == "pbatch" ? threads : 1,
+                            opts);
+    EchoAlgorithm alg2(g);
+    std::vector<local::Algorithm*> algs = {&alg, &alg2};
+    std::vector<int> rounds = net.Run(algs, max_rounds);
+    for (int b = 0; b < batch; ++b) {
+      rec.rounds += rounds[b];
+      rec.messages += net.messages_delivered(b);
+      rec.digest = support::Fnv1a64(&b, sizeof(b), rec.digest) ^
+                   net.last_digest(b);
+      const auto& stats = net.round_stats(b);
+      rec.stats.insert(rec.stats.end(), stats.begin(), stats.end());
+    }
+  }
+  return rec;
+}
+
+struct Workload {
+  std::string name;
+  Graph graph;
+};
+
+// Two disjoint uniform trees plus isolated nodes — the multi-component case.
+Graph MultiComponent(int n_each, uint64_t seed) {
+  std::vector<std::pair<int, int>> edges;
+  const Graph a = UniformRandomTree(n_each, seed);
+  const Graph b = UniformRandomTree(n_each, seed + 1);
+  for (int e = 0; e < a.NumEdges(); ++e) edges.push_back(a.Endpoints(e));
+  for (int e = 0; e < b.NumEdges(); ++e) {
+    auto [u, v] = b.Endpoints(e);
+    edges.emplace_back(u + n_each, v + n_each);
+  }
+  return Graph::FromEdges(2 * n_each + 3, std::move(edges));  // +3 isolated
+}
+
+std::vector<Workload> Workloads() {
+  std::vector<Workload> w;
+  w.push_back({"tree", UniformRandomTree(257, 11)});
+  w.push_back({"forest_union", ForestUnion(120, 3, 5)});
+  w.push_back({"star_union", StarUnion(150, 2, 7)});
+  w.push_back({"hubbed", HubbedForest(140, 3, 9)});
+  w.push_back({"multi_component", MultiComponent(90, 13)});
+  return w;
+}
+
+TEST(GraphBackendParityTest, EngineMatrixBitIdentical) {
+  struct Config {
+    const char* engine;
+    int threads;
+  };
+  const std::vector<Config> configs = {
+      {"network", 1},  {"parallel", 1}, {"parallel", 2}, {"parallel", 8},
+      {"reference", 1}, {"batch", 1},   {"pbatch", 2},   {"pbatch", 8},
+  };
+  for (const Workload& w : Workloads()) {
+    const Graph& g = w.graph;
+    const CompactGraph compact = CompactGraph::FromGraph(g);
+    MappedCgr mapped(compact, w.name);
+    ASSERT_EQ(compact.NumNodes(), g.NumNodes()) << w.name;
+    ASSERT_EQ(compact.NumEdges(), g.NumEdges()) << w.name;
+    const auto ids = DefaultIds(g.NumNodes(), 1000 + g.NumNodes());
+    for (const Config& c : configs) {
+      for (bool relabel : {false, true}) {
+        const RunRecord base = RunConfig(g, ids, c.engine, c.threads, relabel);
+        const RunRecord ram =
+            RunConfig(compact, ids, c.engine, c.threads, relabel);
+        const RunRecord map =
+            RunConfig(mapped.graph, ids, c.engine, c.threads, relabel);
+        const std::string tag = w.name + "/" + c.engine + "/T" +
+                                std::to_string(c.threads) +
+                                (relabel ? "/relabel" : "");
+        EXPECT_EQ(base.digest, ram.digest) << tag;
+        EXPECT_TRUE(base == ram) << tag << " (in-RAM compact diverged)";
+        EXPECT_TRUE(base == map) << tag << " (mmap compact diverged)";
+      }
+    }
+  }
+}
+
+// The production pipeline on forests: rake-compress outputs, rounds,
+// messages, and digests must agree across backends on all five engines.
+TEST(GraphBackendParityTest, RakeCompressPipelineParity) {
+  for (const char* family : {"tree", "multi"}) {
+    const Graph g = std::string(family) == "tree" ? UniformRandomTree(400, 21)
+                                                  : MultiComponent(150, 23);
+    const CompactGraph compact = CompactGraph::FromGraph(g);
+    MappedCgr mapped(compact, std::string("rc_") + family);
+    const auto ids = DefaultIds(g.NumNodes(), 77);
+    const int k = 3;
+    const RakeCompressResult base = RunRakeCompress(g, ids, k);
+    for (const CompactGraph* cg :
+         {&compact, const_cast<const CompactGraph*>(&mapped.graph)}) {
+      const RakeCompressResult got = RunRakeCompress(*cg, ids, k);
+      EXPECT_EQ(base.iteration, got.iteration) << family;
+      EXPECT_EQ(base.engine_rounds, got.engine_rounds) << family;
+      EXPECT_EQ(base.messages, got.messages) << family;
+      EXPECT_EQ(base.round_stats, got.round_stats) << family;
+      const RakeCompressResult ref = RunRakeCompressReference(*cg, ids, k);
+      EXPECT_EQ(base.round_stats, ref.round_stats) << family;
+      const auto deduped =
+          RunRakeCompressBatchDeduped(*cg, ids, {k, k + 5}, 2);
+      EXPECT_EQ(base.iteration, deduped[0].iteration) << family;
+      EXPECT_EQ(base.round_stats, deduped[0].round_stats) << family;
+    }
+  }
+}
+
+// graph_convert's promise in-process: a CompactGraph built by streaming the
+// generator's edges through Builder in sorted-arc order equals (same image
+// bytes) the one re-encoded from the eager Graph — and the streamed
+// generators emit exactly the eager edge lists.
+TEST(GraphBackendParityTest, StreamedGeneratorsMatchEager) {
+  for (TreeFamily family : AllTreeFamilies()) {
+    const int n = 153;
+    const uint64_t seed = 31;
+    const Graph eager = MakeTree(family, n, seed);
+    std::vector<std::pair<int, int>> streamed;
+    const int streamed_n = MakeTreeStreamed(
+        family, n, seed, [&](int u, int v) { streamed.emplace_back(u, v); });
+    EXPECT_EQ(streamed_n, eager.NumNodes()) << TreeFamilyName(family);
+    ASSERT_EQ(static_cast<int>(streamed.size()), eager.NumEdges())
+        << TreeFamilyName(family);
+    for (int e = 0; e < eager.NumEdges(); ++e) {
+      const auto [u, v] = streamed[static_cast<size_t>(e)];
+      EXPECT_EQ(std::minmax(u, v),
+                std::minmax(eager.EdgeU(e), eager.EdgeV(e)))
+          << TreeFamilyName(family) << " edge " << e;
+    }
+  }
+  // ForestUnionStreamed: the deduplicated support of the emitted multiset
+  // is ForestUnion's edge set (sorted-arc dedup is what graph_convert does).
+  const int n = 120, a = 3;
+  const uint64_t seed = 17;
+  const Graph eager = ForestUnion(n, a, seed);
+  std::vector<uint64_t> arcs;
+  ForestUnionStreamed(n, a, seed, [&](int u, int v) {
+    arcs.push_back(static_cast<uint64_t>(u) << 32 | static_cast<uint32_t>(v));
+    arcs.push_back(static_cast<uint64_t>(v) << 32 | static_cast<uint32_t>(u));
+  });
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  CompactGraph::Builder builder(n);
+  for (uint64_t arc : arcs) {
+    builder.AddArc(static_cast<int64_t>(arc >> 32),
+                   static_cast<int64_t>(arc & 0xffffffffu));
+  }
+  const CompactGraph streamed = builder.Finish();
+  const CompactGraph reencoded = CompactGraph::FromGraph(eager);
+  EXPECT_EQ(streamed.Serialize(), reencoded.Serialize());
+}
+
+// Checkpoint/resume stays within the compact backend: pause a
+// CompactGraph-backed run, resume it on a fresh CompactGraph-backed engine
+// (mmap-opened this time), and the final digest must equal the
+// uninterrupted Graph-backed run's.
+TEST(GraphBackendParityTest, CompactCheckpointResume) {
+  const Graph g = UniformRandomTree(500, 41);
+  const CompactGraph compact = CompactGraph::FromGraph(g);
+  MappedCgr mapped(compact, "ckpt");
+  const auto ids = DefaultIds(g.NumNodes(), 43);
+  const int k = 2;
+
+  const int budget = 3 * (2 * RakeCompressIterationBound(500, k) + 8);
+  local::Network full(g, ids);
+  auto alg_full = MakeRakeCompressAlgorithm(full.view(), k);
+  full.Run(*alg_full, budget);
+
+  local::Network recorder(compact, ids);
+  auto alg = MakeRakeCompressAlgorithm(compact, k);
+  recorder.RunUntil(*alg, budget, 4);
+  ASSERT_TRUE(recorder.paused());
+  std::stringstream snap;
+  recorder.Checkpoint(snap);
+
+  local::Network resumed(mapped.graph, ids);
+  resumed.Resume(snap);
+  auto alg2 = MakeRakeCompressAlgorithm(mapped.graph, k);
+  resumed.Run(*alg2, budget);
+  EXPECT_EQ(resumed.last_digest(), full.last_digest());
+}
+
+// Snapshot graph_hash binds to the backend's edge numbering: for a graph
+// whose input edge order is already the canonical (min, max)-sorted order
+// (a path), cross-backend resume works; ValidateForEngine's hash comparison
+// rejects nothing. This pins the documented seam rather than papering over
+// it.
+TEST(GraphBackendParityTest, CrossBackendResumeOnCanonicalOrder) {
+  const Graph g = Path(300);
+  const CompactGraph compact = CompactGraph::FromGraph(g);
+  std::vector<int64_t> ids(g.NumNodes());
+  std::iota(ids.begin(), ids.end(), 0);
+  EXPECT_EQ(local::GraphHash(g), local::GraphHash(compact));
+
+  const int k = 2;
+  const int budget = 3 * (2 * RakeCompressIterationBound(300, k) + 8);
+  local::Network recorder(g, ids);
+  auto alg = MakeRakeCompressAlgorithm(recorder.view(), k);
+  recorder.RunUntil(*alg, budget, 1);
+  ASSERT_TRUE(recorder.paused());
+  std::stringstream snap;
+  recorder.Checkpoint(snap);
+
+  local::Network resumed(compact, ids);
+  resumed.Resume(snap);
+  auto alg2 = MakeRakeCompressAlgorithm(compact, k);
+  resumed.Run(*alg2, budget);
+
+  local::Network full(g, ids);
+  auto alg3 = MakeRakeCompressAlgorithm(full.view(), k);
+  full.Run(*alg3, budget);
+  EXPECT_EQ(resumed.last_digest(), full.last_digest());
+}
+
+}  // namespace
+}  // namespace treelocal

@@ -21,7 +21,11 @@ floor bounds on the acceptance ratios:
   * wake-scheduler accounting: records carrying the sweep visit fields
     must stay transcript-identical with scheduling on vs off
     (`scheduler_identical`), and the scheduled visit count must stay
-    within VISIT_RATIO_BOUND of decisions + message wakes.
+    within VISIT_RATIO_BOUND of decisions + message wakes;
+  * compressed-backend bounds: per-record backstops on
+    `compact_bytes_per_edge` / `compact_ratio`, identity gating of the
+    compression numbers, and a demonstration floor (<= 6 bytes/edge,
+    >= 4x vs CSR) on the best identity-gated workload.
 
 Usage: check_bench_regression.py <path/to/BENCH_engine.json>
 Exits non-zero listing every violated bound.
@@ -83,6 +87,14 @@ SPEEDUP_FLOORS = {
 # parity-level floor on a single measurement is pure noise roulette. The
 # hard gates on these records are transcript identity and the wake-
 # scheduler visit bound above, which are deterministic.
+# Compressed graph backend (bench_graph_backend): hard demonstration
+# floors applied to the BEST identity-gated workload, plus loose
+# per-record backstops (see check_record / check_compact_group).
+COMPACT_BYTES_PER_EDGE_FLOOR = 6.0
+COMPACT_RATIO_FLOOR = 4.0
+COMPACT_BYTES_PER_EDGE_BACKSTOP = 8.5
+COMPACT_RATIO_BACKSTOP = 3.2
+
 ACCEPTANCE_FLOORS = {
     "edge_pipeline_phase23": 0.8,
     # The bit-plane batch kernels' headline claim: >= 2x instance
@@ -184,6 +196,60 @@ def check_record(rec, msgs):
         if rec.get("dedup_factor", 0) < 1.0:
             fail(msgs, rec, f"dedup_factor {rec.get('dedup_factor')} < 1")
 
+    # Compressed-backend records: per-record backstops. Gap widths grow
+    # with log(n), so bytes/edge drifts up at the 2^20 workload (~7.4) —
+    # the backstop catches encoder regressions, while the headline <= 6
+    # bytes/edge / >= 4x claims are gated on the best recorded workload in
+    # check_compact_group (the ISSUE acceptance is "demonstrated on the
+    # bench workloads", which the 2^14 record carries at ~5.5/5.1x).
+    # The backstops are scoped to the matrix workloads ("compact_backend");
+    # the huge out-of-core record ("compact_backend_huge", recursive tree at
+    # n ~ 10^8) legitimately sits wider because gap varints span the whole
+    # id range, and its claims are residency claims, not compression ones.
+    bpe = rec.get("compact_bytes_per_edge")
+    if bpe is not None and exp == "compact_backend":
+        if not isinstance(bpe, (int, float)) or not math.isfinite(bpe):
+            fail(msgs, rec, f"compact_bytes_per_edge is not finite: {bpe}")
+        elif bpe > COMPACT_BYTES_PER_EDGE_BACKSTOP:
+            fail(msgs, rec,
+                 f"compact_bytes_per_edge {bpe:.3f} above backstop "
+                 f"{COMPACT_BYTES_PER_EDGE_BACKSTOP}")
+        if "transcripts_identical" not in rec:
+            fail(msgs, rec,
+                 "compact_backend record lacks the transcripts_identical "
+                 "identity gate — compression numbers are only admissible "
+                 "from identity-gated runs")
+        ratio = rec.get("compact_ratio")
+        if ratio is not None and isinstance(ratio, (int, float)):
+            if not math.isfinite(ratio) or \
+                    ratio < COMPACT_RATIO_BACKSTOP:
+                fail(msgs, rec,
+                     f"compact_ratio {ratio} below backstop "
+                     f"{COMPACT_RATIO_BACKSTOP}")
+
+
+def check_compact_group(records, msgs):
+    """Demonstration gate for the compressed backend: among identity-gated
+    compact_backend records, the best workload must still demonstrate the
+    headline claims (<= 6 bytes/edge, >= 4x smaller than the CSR)."""
+    gated = [r for r in records
+             if r.get("experiment") == "compact_backend" and
+             r.get("transcripts_identical") is True]
+    if not gated:
+        return  # nothing recorded yet; per-record gates handle the rest
+    best_bpe = min(r.get("compact_bytes_per_edge", math.inf) for r in gated)
+    best_ratio = max(r.get("compact_ratio", 0.0) for r in gated)
+    if best_bpe > COMPACT_BYTES_PER_EDGE_FLOOR:
+        msgs.append(
+            f"[compact_backend] best bytes/edge {best_bpe:.3f} exceeds the "
+            f"{COMPACT_BYTES_PER_EDGE_FLOOR} demonstration floor on every "
+            f"identity-gated workload")
+    if best_ratio < COMPACT_RATIO_FLOOR:
+        msgs.append(
+            f"[compact_backend] best CSR ratio {best_ratio:.3f} below the "
+            f"{COMPACT_RATIO_FLOOR}x demonstration floor on every "
+            f"identity-gated workload")
+
 
 def main(argv):
     if len(argv) != 2:
@@ -202,6 +268,7 @@ def main(argv):
             1 for k, v in rec.items()
             if isinstance(v, list) and k.endswith("round_active_nodes"))
         check_record(rec, msgs)
+    check_compact_group(records, msgs)
 
     print(f"checked {len(records)} records, {trajectories} active-node "
           f"trajectories, {len(msgs)} violations")

@@ -189,7 +189,8 @@ int main(int argc, char** argv) {
     std::cout << "graphs=" << s.graphs << "\nrequests=" << s.requests
               << "\ncompleted=" << s.completed << "\nfailed=" << s.failed
               << "\ncancelled=" << s.cancelled
-              << "\nrejected=" << s.rejected << "\nbatches=" << s.batches
+              << "\nrejected=" << s.rejected << "\nevicted=" << s.evicted
+              << "\nbatches=" << s.batches
               << "\nbatched_requests=" << s.batched_requests
               << "\nmax_batch=" << s.max_batch
               << "\nqueue_depth=" << s.queue_depth

@@ -4,6 +4,7 @@
 // on a localhost TCP port.
 //
 //   treelocald [--port P] [--threads T] [--max-batch B] [--slice R]
+//              [--max-graphs G] [--max-graph-bytes BYTES]
 //
 // --port 0 (default) picks an ephemeral port and prints it; a wrapping
 // script can parse the "listening on" line. Stops on SIGINT/SIGTERM or a
@@ -26,7 +27,11 @@ namespace {
 [[noreturn]] void Usage(const std::string& err) {
   if (!err.empty()) std::cerr << "error: " << err << "\n";
   std::cerr << "usage: treelocald [--port P] [--threads T] [--max-batch B] "
-               "[--slice R]\n";
+               "[--slice R] [--max-graphs G] [--max-graph-bytes BYTES]\n"
+               "  --max-graphs / --max-graph-bytes bound resident graphs "
+               "(0 = unlimited); idle\n  graphs are evicted LRU-first, and a "
+               "registration that still cannot fit is\n  answered "
+               "kRejected.\n";
   std::exit(err.empty() ? 0 : 2);
 }
 
@@ -48,6 +53,10 @@ int main(int argc, char** argv) {
       opt.max_batch = std::atoi(need(i).c_str());
     } else if (a == "--slice") {
       opt.slice_rounds = std::atoi(need(i).c_str());
+    } else if (a == "--max-graphs") {
+      opt.max_graphs = std::strtoull(need(i).c_str(), nullptr, 10);
+    } else if (a == "--max-graph-bytes") {
+      opt.max_graph_bytes = std::strtoull(need(i).c_str(), nullptr, 10);
     } else if (a == "--help" || a == "-h") {
       Usage("");
     } else {
